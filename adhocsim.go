@@ -1,0 +1,153 @@
+// Package adhocsim is a discrete-event simulator for mobile ad hoc network
+// routing protocols, reproducing the comparison study "A Performance
+// Comparison of Routing Protocols for Ad Hoc Networks" (IPPS/IPDPS 2001).
+//
+// It provides, built entirely on the Go standard library:
+//
+//   - an ns-2-class wireless substrate: two-ray ground propagation with
+//     250 m/550 m reception and carrier-sense ranges, an IEEE 802.11 DCF
+//     MAC with RTS/CTS and link-breakage detection, random-waypoint
+//     mobility and CBR/UDP traffic;
+//   - full implementations of DSR, AODV, PAODV (preemptive AODV), CBRP and
+//     DSDV, plus a flooding yardstick;
+//   - the study's metric suite (packet delivery ratio, end-to-end delay,
+//     per-hop routing overhead, normalized routing and MAC load, path
+//     optimality) and a parallel experiment harness that regenerates every
+//     figure and table of the evaluation.
+//
+// # Quick start
+//
+//	spec := adhocsim.DefaultSpec()
+//	spec.Nodes = 30
+//	res, err := adhocsim.Run(adhocsim.RunConfig{
+//		Spec:     spec,
+//		Protocol: adhocsim.DSR,
+//		Seed:     1,
+//	})
+//	fmt.Printf("PDR %.1f%%  delay %.1f ms\n", res.PDR*100, res.AvgDelay*1e3)
+//
+// Deeper customisation (custom mobility models, protocol ablations, raw
+// world wiring) is available through the internal packages for code living
+// in this module; the facade covers the published study surface.
+package adhocsim
+
+import (
+	"adhocsim/internal/core"
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mac"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+)
+
+// Protocol names understood by Run and the sweep helpers.
+const (
+	DSR   = core.DSR
+	AODV  = core.AODV
+	PAODV = core.PAODV
+	CBRP  = core.CBRP
+	DSDV  = core.DSDV
+	Flood = core.Flood
+)
+
+// StudyProtocols returns the five protocols of the IPPS'01 comparison.
+func StudyProtocols() []string { return core.StudyProtocols() }
+
+// AllProtocols additionally includes the flooding baseline.
+func AllProtocols() []string { return core.AllProtocols() }
+
+// Spec describes a scenario; see DefaultSpec for the study configuration.
+type Spec = scenario.Spec
+
+// Rect is the simulation area type used in Spec.
+type Rect = geo.Rect
+
+// Results is the metric set produced by a run.
+type Results = stats.Results
+
+// RunConfig identifies one simulation run.
+type RunConfig = core.RunConfig
+
+// Options configures comparisons and sweeps.
+type Options = core.Options
+
+// SweepResult holds per-protocol results along a swept axis.
+type SweepResult = core.SweepResult
+
+// Figure is a sweep viewed through one metric, ready to render.
+type Figure = core.Figure
+
+// MacConfig tunes the 802.11 MAC (queue limit, RTS threshold).
+type MacConfig = mac.Config
+
+// Duration and Time re-export the virtual-clock types used in Spec.
+type (
+	Duration = sim.Duration
+	Time     = sim.Time
+)
+
+// Second is one simulated second.
+const Second = sim.Second
+
+// Seconds converts float seconds to a Duration.
+func Seconds(s float64) Duration { return sim.Seconds(s) }
+
+// DefaultSpec returns the reconstructed study configuration (40 nodes,
+// 1500×300 m, 20 m/s random waypoint, 10 CBR sources at 4 pkt/s, 250 m
+// radios, 900 s).
+func DefaultSpec() Spec { return scenario.Default() }
+
+// DefaultOptions returns study defaults: all five protocols, three seeds.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Run executes one scenario×protocol×seed simulation.
+func Run(rc RunConfig) (Results, error) { return core.Run(rc) }
+
+// RunReplicated executes rc once per seed (in parallel) and merges results.
+func RunReplicated(rc RunConfig, seeds []int64, workers int) (Results, error) {
+	return core.RunReplicated(rc, seeds, workers)
+}
+
+// Compare runs every protocol in opts on the base scenario (pause time as
+// configured) and returns per-protocol results.
+func Compare(opts Options) (map[string]Results, error) {
+	return core.SummaryTable(opts)
+}
+
+// PauseSweep sweeps pause time (mobility), the axis of Figures 1–4.
+// A nil pauses slice selects the Broch-style defaults.
+func PauseSweep(opts Options, pauses []float64) (*SweepResult, error) {
+	return core.PauseSweep(opts, pauses)
+}
+
+// DensitySweep sweeps the node count (Figure 6).
+func DensitySweep(opts Options, nodes []float64) (*SweepResult, error) {
+	return core.DensitySweep(opts, nodes)
+}
+
+// LoadSweep sweeps the offered load in packets/s (Figure 7).
+func LoadSweep(opts Options, rates []float64) (*SweepResult, error) {
+	return core.LoadSweep(opts, rates)
+}
+
+// SpeedSweep sweeps maximum node speed (Figure 8).
+func SpeedSweep(opts Options, speeds []float64) (*SweepResult, error) {
+	return core.SpeedSweep(opts, speeds)
+}
+
+// RenderFigure renders a figure as an aligned text table.
+func RenderFigure(f Figure) string { return core.RenderFigure(f) }
+
+// RenderFigureCSV renders a figure as CSV.
+func RenderFigureCSV(f Figure) string { return core.RenderFigureCSV(f) }
+
+// Metrics available for figure rendering.
+var (
+	MetricPDR        = core.MetricPDR
+	MetricDelay      = core.MetricDelay
+	MetricOverhead   = core.MetricOverhead
+	MetricNRL        = core.MetricNRL
+	MetricThroughput = core.MetricThroughput
+	MetricMacLoad    = core.MetricMacLoad
+	MetricAvgHops    = core.MetricAvgHops
+)

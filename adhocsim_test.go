@@ -1,0 +1,122 @@
+package adhocsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"adhocsim"
+)
+
+func smallSpec() adhocsim.Spec {
+	spec := adhocsim.DefaultSpec()
+	spec.Nodes = 15
+	spec.Area = adhocsim.Rect{W: 700, H: 300}
+	spec.Duration = 40 * adhocsim.Second
+	spec.Sources = 4
+	return spec
+}
+
+func TestFacadeRun(t *testing.T) {
+	res, err := adhocsim.Run(adhocsim.RunConfig{Spec: smallSpec(), Protocol: adhocsim.DSR, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent == 0 || res.PDR <= 0 {
+		t.Fatalf("degenerate results: %+v", res)
+	}
+}
+
+func TestFacadeProtocolLists(t *testing.T) {
+	study := adhocsim.StudyProtocols()
+	if len(study) != 5 {
+		t.Fatalf("study protocols = %v", study)
+	}
+	all := adhocsim.AllProtocols()
+	if len(all) != 6 {
+		t.Fatalf("all protocols = %v", all)
+	}
+	for _, p := range all {
+		if p == "" {
+			t.Fatal("empty protocol name")
+		}
+	}
+}
+
+func TestFacadeCompare(t *testing.T) {
+	opts := adhocsim.DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Protocols = []string{adhocsim.DSR, adhocsim.DSDV}
+	opts.Seeds = []int64{1}
+	res, err := adhocsim.Compare(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("compare returned %d protocols", len(res))
+	}
+	for p, r := range res {
+		if r.DataSent == 0 {
+			t.Fatalf("%s sent nothing", p)
+		}
+	}
+}
+
+func TestFacadeSweepAndRender(t *testing.T) {
+	opts := adhocsim.DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Protocols = []string{adhocsim.AODV}
+	opts.Seeds = []int64{1}
+	sweep, err := adhocsim.PauseSweep(opts, []float64{0, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := adhocsim.Figure{ID: "t", Title: "test", Metric: adhocsim.MetricPDR, Sweep: sweep}
+	txt := adhocsim.RenderFigure(fig)
+	if !strings.Contains(txt, "AODV") || !strings.Contains(txt, "pause_s") {
+		t.Fatalf("render missing columns:\n%s", txt)
+	}
+	csv := adhocsim.RenderFigureCSV(fig)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+2 { // header + 2 x-points × 1 protocol
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "pause_s,protocol,") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestFacadeSeconds(t *testing.T) {
+	if adhocsim.Seconds(2) != 2*adhocsim.Second {
+		t.Fatal("Seconds conversion")
+	}
+}
+
+func TestFacadeErrorPropagation(t *testing.T) {
+	bad := adhocsim.DefaultSpec()
+	bad.Nodes = 1 // invalid
+	if _, err := adhocsim.Run(adhocsim.RunConfig{Spec: bad, Protocol: adhocsim.DSR, Seed: 1}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := adhocsim.Run(adhocsim.RunConfig{Spec: smallSpec(), Protocol: "NOPE", Seed: 1}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := adhocsim.RunReplicated(adhocsim.RunConfig{Spec: bad, Protocol: adhocsim.DSR}, []int64{1, 2}, 2); err == nil {
+		t.Fatal("replicated run swallowed the error")
+	}
+	opts := adhocsim.DefaultOptions()
+	opts.Base = bad
+	if _, err := adhocsim.PauseSweep(opts, []float64{0}); err == nil {
+		t.Fatal("sweep swallowed the error")
+	}
+}
+
+func TestFacadeRunReplicatedDefaultSeeds(t *testing.T) {
+	// Nil seed list must still run (single default seed).
+	res, err := adhocsim.RunReplicated(adhocsim.RunConfig{Spec: smallSpec(), Protocol: adhocsim.DSDV}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent == 0 {
+		t.Fatal("no traffic with default seeds")
+	}
+}

@@ -1,0 +1,300 @@
+// Benchmarks that regenerate every figure and table of the reproduced
+// evaluation at smoke scale (the adhocfigs command runs the full-scale
+// versions). Each benchmark executes one complete experiment per iteration
+// and reports the headline metric(s) via b.ReportMetric, so `go test
+// -bench=.` doubles as a quick shape check: DSR should report the lowest
+// overhead, DSDV the lowest pause-0 delivery, and so on.
+//
+// BenchmarkAblation* quantify the design choices called out in DESIGN.md.
+package adhocsim_test
+
+import (
+	"testing"
+
+	"adhocsim"
+	"adhocsim/internal/core"
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mac"
+	"adhocsim/internal/routing/aodv"
+	"adhocsim/internal/routing/cbrp"
+	"adhocsim/internal/routing/dsdv"
+	"adhocsim/internal/routing/dsr"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+)
+
+// benchOptions returns the smoke-scale study configuration used by the
+// figure benchmarks: 25 nodes, 60 simulated seconds, one seed.
+func benchOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.Base.Nodes = 25
+	opts.Base.Area = geo.Rect{W: 1000, H: 300}
+	opts.Base.Duration = 60 * sim.Second
+	opts.Base.Sources = 8
+	opts.Seeds = []int64{1}
+	return opts
+}
+
+var benchPauses = []float64{0, 30, 60}
+
+// reportPerProtocol emits metric values for the most mobile point (x index
+// 0) of a sweep, labelled per protocol.
+func reportPerProtocol(b *testing.B, sweep *core.SweepResult, m core.Metric) {
+	for _, p := range sweep.Protocols {
+		b.ReportMetric(m.Value(sweep.Cells[p][0]), p+"_"+m.Name)
+	}
+}
+
+func runPauseSweep(b *testing.B, opts core.Options) *core.SweepResult {
+	b.Helper()
+	var sweep *core.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		sweep, err = core.PauseSweep(opts, benchPauses)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sweep
+}
+
+// BenchmarkFig1_PDRvsPause regenerates Figure 1 (packet delivery ratio vs
+// pause time, all protocols).
+func BenchmarkFig1_PDRvsPause(b *testing.B) {
+	sweep := runPauseSweep(b, benchOptions())
+	reportPerProtocol(b, sweep, core.MetricPDR)
+}
+
+// BenchmarkFig2_OverheadVsPause regenerates Figure 2 (routing overhead vs
+// pause time).
+func BenchmarkFig2_OverheadVsPause(b *testing.B) {
+	sweep := runPauseSweep(b, benchOptions())
+	reportPerProtocol(b, sweep, core.MetricOverhead)
+}
+
+// BenchmarkFig3_DelayVsPause regenerates Figure 3 (average end-to-end delay
+// vs pause time).
+func BenchmarkFig3_DelayVsPause(b *testing.B) {
+	sweep := runPauseSweep(b, benchOptions())
+	reportPerProtocol(b, sweep, core.MetricDelay)
+}
+
+// BenchmarkFig4_ThroughputVsPause regenerates Figure 4 (delivered
+// throughput vs pause time).
+func BenchmarkFig4_ThroughputVsPause(b *testing.B) {
+	sweep := runPauseSweep(b, benchOptions())
+	reportPerProtocol(b, sweep, core.MetricThroughput)
+}
+
+// BenchmarkFig5_PathOptimality regenerates Figure 5 (hops beyond optimal).
+func BenchmarkFig5_PathOptimality(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		hist, err := core.PathOptimality(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p, h := range hist {
+			var total, optimal uint64
+			for e, n := range h {
+				total += n
+				if e == 0 {
+					optimal += n
+				}
+			}
+			if total > 0 {
+				b.ReportMetric(100*float64(optimal)/float64(total), p+"_optimal_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6_Density regenerates Figure 6 (metrics vs node count).
+func BenchmarkFig6_Density(b *testing.B) {
+	opts := benchOptions()
+	var sweep *core.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		sweep, err = core.DensitySweep(opts, []float64{10, 20, 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range sweep.Protocols {
+		last := len(sweep.Xs) - 1
+		b.ReportMetric(core.MetricPDR.Value(sweep.Cells[p][last]), p+"_pdr_dense")
+	}
+}
+
+// BenchmarkFig7_Load regenerates Figure 7 (delay/throughput vs offered
+// load).
+func BenchmarkFig7_Load(b *testing.B) {
+	opts := benchOptions()
+	var sweep *core.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		sweep, err = core.LoadSweep(opts, []float64{1, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range sweep.Protocols {
+		last := len(sweep.Xs) - 1
+		b.ReportMetric(core.MetricThroughput.Value(sweep.Cells[p][last]), p+"_tput_loaded")
+	}
+}
+
+// BenchmarkFig8_Speed regenerates Figure 8 (PDR/overhead vs max speed).
+func BenchmarkFig8_Speed(b *testing.B) {
+	opts := benchOptions()
+	var sweep *core.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		sweep, err = core.SpeedSweep(opts, []float64{1, 10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range sweep.Protocols {
+		last := len(sweep.Xs) - 1
+		b.ReportMetric(core.MetricPDR.Value(sweep.Cells[p][last]), p+"_pdr_fast")
+	}
+}
+
+// BenchmarkTable1_Summary regenerates Table 1 (per-protocol summary at
+// pause 0).
+func BenchmarkTable1_Summary(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		sum, err := core.SummaryTable(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p, r := range sum {
+			b.ReportMetric(r.PDR*100, p+"_pdr")
+			b.ReportMetric(r.NormalizedRoutingLoad, p+"_nrl")
+		}
+	}
+}
+
+// BenchmarkTable2_Breakdown regenerates Table 2 (overhead by message type).
+func BenchmarkTable2_Breakdown(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		sum, err := core.SummaryTable(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p, r := range sum {
+			var total uint64
+			for _, n := range r.RoutingByType {
+				total += n
+			}
+			b.ReportMetric(float64(total), p+"_routing_tx")
+		}
+	}
+}
+
+// --- ablation benches (design choices from DESIGN.md) ---------------------
+
+func ablationSpec() scenario.Spec {
+	s := scenario.Default()
+	s.Nodes = 25
+	s.Area = geo.Rect{W: 1000, H: 300}
+	s.Duration = 60 * sim.Second
+	s.Sources = 8
+	return s
+}
+
+func runAblation(b *testing.B, proto string, tweaks core.ProtocolTweaks, macCfg mac.Config) (pdr, overhead float64) {
+	b.Helper()
+	res, err := core.Run(core.RunConfig{
+		Spec: ablationSpec(), Protocol: proto, Seed: 1, Tweaks: tweaks, Mac: macCfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.PDR * 100, float64(res.RoutingTxPackets)
+}
+
+// BenchmarkAblationRTSCTS compares the MAC with and without the RTS/CTS
+// exchange for unicast data.
+func BenchmarkAblationRTSCTS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		onPDR, _ := runAblation(b, core.DSR, core.ProtocolTweaks{}, mac.Config{})
+		offPDR, _ := runAblation(b, core.DSR, core.ProtocolTweaks{}, mac.Config{RTSThreshold: 1 << 20})
+		b.ReportMetric(onPDR, "pdr_rtscts_on")
+		b.ReportMetric(offPDR, "pdr_rtscts_off")
+	}
+}
+
+// BenchmarkAblationExpandingRing compares AODV's expanding-ring search with
+// immediate network-wide floods.
+func BenchmarkAblationExpandingRing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, ringTx := runAblation(b, core.AODV, core.ProtocolTweaks{}, mac.Config{})
+		_, fullTx := runAblation(b, core.AODV,
+			core.ProtocolTweaks{AODV: aodv.Config{DisableExpandingRing: true}}, mac.Config{})
+		b.ReportMetric(ringTx, "rreq_tx_ring")
+		b.ReportMetric(fullTx, "rreq_tx_full")
+	}
+}
+
+// BenchmarkAblationDSRCacheReplies compares DSR with and without replies
+// from intermediate caches.
+func BenchmarkAblationDSRCacheReplies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, onTx := runAblation(b, core.DSR, core.ProtocolTweaks{}, mac.Config{})
+		_, offTx := runAblation(b, core.DSR,
+			core.ProtocolTweaks{DSR: dsr.Config{DisableReplyFromCache: true}}, mac.Config{})
+		b.ReportMetric(onTx, "overhead_cache_on")
+		b.ReportMetric(offTx, "overhead_cache_off")
+	}
+}
+
+// BenchmarkAblationCBRPClusterFlood compares CBRP's head/gateway-restricted
+// flooding against blind flooding.
+func BenchmarkAblationCBRPClusterFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, onTx := runAblation(b, core.CBRP, core.ProtocolTweaks{}, mac.Config{})
+		_, offTx := runAblation(b, core.CBRP,
+			core.ProtocolTweaks{CBRP: cbrp.Config{DisableClusterFlooding: true}}, mac.Config{})
+		b.ReportMetric(onTx, "overhead_cluster")
+		b.ReportMetric(offTx, "overhead_blind")
+	}
+}
+
+// BenchmarkAblationDSDVTriggered compares DSDV with and without triggered
+// updates.
+func BenchmarkAblationDSDVTriggered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		onPDR, _ := runAblation(b, core.DSDV, core.ProtocolTweaks{}, mac.Config{})
+		offPDR, _ := runAblation(b, core.DSDV,
+			core.ProtocolTweaks{DSDV: dsdv.Config{DisableTriggered: true}}, mac.Config{})
+		b.ReportMetric(onPDR, "pdr_triggered")
+		b.ReportMetric(offPDR, "pdr_periodic_only")
+	}
+}
+
+// BenchmarkAblationPAODV compares plain AODV against preemptive AODV.
+func BenchmarkAblationPAODV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plainPDR, plainTx := runAblation(b, core.AODV, core.ProtocolTweaks{}, mac.Config{})
+		prePDR, preTx := runAblation(b, core.PAODV, core.ProtocolTweaks{}, mac.Config{})
+		b.ReportMetric(plainPDR, "pdr_aodv")
+		b.ReportMetric(prePDR, "pdr_paodv")
+		b.ReportMetric(plainTx, "overhead_aodv")
+		b.ReportMetric(preTx, "overhead_paodv")
+	}
+}
+
+// BenchmarkSingleRun measures raw simulator throughput for one standard run
+// (events/sec is visible through ns/op).
+func BenchmarkSingleRun(b *testing.B) {
+	spec := ablationSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := adhocsim.Run(adhocsim.RunConfig{Spec: spec, Protocol: adhocsim.DSR, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

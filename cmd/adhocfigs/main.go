@@ -1,0 +1,168 @@
+// Command adhocfigs regenerates every figure and table of the reproduced
+// evaluation, printing text tables to stdout and writing CSV files to an
+// output directory.
+//
+// By default it runs a scaled configuration (150 s instead of 900 s, one
+// seed) that finishes in minutes on a laptop; pass -full for the
+// publication-scale run.
+//
+// Usage:
+//
+//	adhocfigs                 # scaled run, all figures
+//	adhocfigs -full -seeds 5  # full-length run
+//	adhocfigs -only fig1,tab1 # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adhocsim"
+	"adhocsim/internal/core"
+	"adhocsim/internal/sim"
+)
+
+func main() {
+	var (
+		full    = flag.Bool("full", false, "publication scale: 900 s runs (slow)")
+		dur     = flag.Float64("dur", 0, "override duration (s)")
+		seeds   = flag.Int("seeds", 1, "replication seeds per point")
+		out     = flag.String("out", "results", "CSV output directory")
+		only    = flag.String("only", "", "comma-separated subset: fig1..fig8,tab1,tab2,tab3")
+		sources = flag.Int("sources", 10, "CBR sources for the pause sweep")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	opts.Base.Sources = *sources
+	switch {
+	case *dur > 0:
+		opts.Base.Duration = sim.Seconds(*dur)
+	case *full:
+		opts.Base.Duration = 900 * sim.Second
+	default:
+		opts.Base.Duration = 150 * sim.Second
+	}
+	opts.Seeds = opts.Seeds[:0]
+	for i := 0; i < *seeds; i++ {
+		opts.Seeds = append(opts.Seeds, int64(i+1))
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(f))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println(core.RenderParameters(opts))
+
+	// Figures 1–4 share the pause sweep.
+	if sel("fig1") || sel("fig2") || sel("fig3") || sel("fig4") {
+		fmt.Println("running pause-time sweep (figures 1-4)...")
+		sweep, err := core.PauseSweep(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range core.Figures14(sweep) {
+			if !sel(f.ID) {
+				continue
+			}
+			fmt.Println(core.RenderFigure(f))
+			writeCSV(*out, f.ID, core.RenderFigureCSV(f))
+		}
+	}
+
+	if sel("fig5") {
+		fmt.Println("running path-optimality experiment (figure 5)...")
+		hist, err := core.PathOptimality(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(core.RenderPathOptimality(hist, opts.Protocols))
+	}
+
+	if sel("fig6") {
+		fmt.Println("running density sweep (figure 6)...")
+		sweep, err := core.DensitySweep(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range []core.Figure{
+			{ID: "fig6a", Title: "PDR vs node count", Metric: core.MetricPDR, Sweep: sweep},
+			{ID: "fig6b", Title: "Delay vs node count", Metric: core.MetricDelay, Sweep: sweep},
+			{ID: "fig6c", Title: "Routing overhead vs node count", Metric: core.MetricOverhead, Sweep: sweep},
+		} {
+			fmt.Println(core.RenderFigure(f))
+			writeCSV(*out, f.ID, core.RenderFigureCSV(f))
+		}
+	}
+
+	if sel("fig7") {
+		fmt.Println("running offered-load sweep (figure 7)...")
+		sweep, err := core.LoadSweep(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range []core.Figure{
+			{ID: "fig7a", Title: "Delay vs offered load", Metric: core.MetricDelay, Sweep: sweep},
+			{ID: "fig7b", Title: "Throughput vs offered load", Metric: core.MetricThroughput, Sweep: sweep},
+		} {
+			fmt.Println(core.RenderFigure(f))
+			writeCSV(*out, f.ID, core.RenderFigureCSV(f))
+		}
+	}
+
+	if sel("fig8") {
+		fmt.Println("running speed sweep (figure 8)...")
+		sweep, err := core.SpeedSweep(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range []core.Figure{
+			{ID: "fig8a", Title: "PDR vs max speed", Metric: core.MetricPDR, Sweep: sweep},
+			{ID: "fig8b", Title: "Routing overhead vs max speed", Metric: core.MetricOverhead, Sweep: sweep},
+		} {
+			fmt.Println(core.RenderFigure(f))
+			writeCSV(*out, f.ID, core.RenderFigureCSV(f))
+		}
+	}
+
+	if sel("tab1") || sel("tab2") {
+		fmt.Println("running summary configuration (tables 1-2)...")
+		sum, err := core.SummaryTable(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if sel("tab1") {
+			fmt.Println(core.RenderSummaryTable(sum, opts.Protocols))
+		}
+		if sel("tab2") {
+			fmt.Println(core.RenderOverheadBreakdown(sum, opts.Protocols))
+		}
+	}
+	_ = adhocsim.DSR // keep the facade linked for doc purposes
+}
+
+func writeCSV(dir, id, content string) {
+	path := filepath.Join(dir, id+".csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  wrote %s\n\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adhocfigs:", err)
+	os.Exit(1)
+}

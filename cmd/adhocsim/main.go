@@ -1,0 +1,135 @@
+// Command adhocsim runs a single ad hoc network simulation and prints its
+// metrics.
+//
+// Usage:
+//
+//	adhocsim -proto DSR -nodes 40 -pause 0 -speed 20 -sources 10 -dur 150 -seed 1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"adhocsim"
+	"adhocsim/internal/trace"
+)
+
+func main() {
+	var (
+		proto     = flag.String("proto", adhocsim.DSR, "routing protocol: "+strings.Join(adhocsim.AllProtocols(), ", "))
+		nodes     = flag.Int("nodes", 40, "number of nodes")
+		areaW     = flag.Float64("w", 1500, "area width (m)")
+		areaH     = flag.Float64("h", 300, "area height (m)")
+		pause     = flag.Float64("pause", 0, "random-waypoint pause time (s)")
+		speed     = flag.Float64("speed", 20, "maximum node speed (m/s)")
+		sources   = flag.Int("sources", 10, "number of CBR connections")
+		rate      = flag.Float64("rate", 4, "packets per second per connection")
+		payload   = flag.Int("payload", 64, "payload bytes per packet")
+		dur       = flag.Float64("dur", 150, "simulated duration (s)")
+		txRange   = flag.Float64("range", 250, "radio range (m)")
+		seed      = flag.Int64("seed", 1, "scenario seed")
+		seeds     = flag.Int("seeds", 1, "number of replication seeds (averaged)")
+		verbose   = flag.Bool("v", false, "print drop census and overhead breakdown")
+		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text")
+		traceFile = flag.String("trace", "", "write an ns-2-style packet trace to this file (single seed only)")
+	)
+	flag.Parse()
+
+	spec := adhocsim.DefaultSpec()
+	spec.Nodes = *nodes
+	spec.Area = adhocsim.Rect{W: *areaW, H: *areaH}
+	spec.Pause = adhocsim.Seconds(*pause)
+	spec.MaxSpeed = *speed
+	if spec.MinSpeed > *speed {
+		spec.MinSpeed = *speed
+	}
+	spec.Sources = *sources
+	spec.Rate = *rate
+	spec.PayloadBytes = *payload
+	spec.Duration = adhocsim.Seconds(*dur)
+	spec.TxRange = *txRange
+
+	var seedList []int64
+	for i := 0; i < *seeds; i++ {
+		seedList = append(seedList, *seed+int64(i))
+	}
+	rc := adhocsim.RunConfig{Spec: spec, Protocol: strings.ToUpper(*proto)}
+	if *traceFile != "" {
+		if *seeds != 1 {
+			fmt.Fprintln(os.Stderr, "adhocsim: -trace requires -seeds 1")
+			os.Exit(2)
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adhocsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w := trace.NewWriter(f)
+		rc.Tracer = w
+		defer func() {
+			if err := w.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "adhocsim: trace:", err)
+			}
+		}()
+	}
+	res, err := adhocsim.RunReplicated(rc, seedList, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhocsim:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Protocol string
+			adhocsim.Results
+		}{strings.ToUpper(*proto), res}); err != nil {
+			fmt.Fprintln(os.Stderr, "adhocsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("protocol            %s\n", strings.ToUpper(*proto))
+	fmt.Printf("scenario            %d nodes, %.0fx%.0f m, pause %.0fs, speed %.0f m/s, %d srcs @ %.1f pkt/s, %.0fs\n",
+		*nodes, *areaW, *areaH, *pause, *speed, *sources, *rate, *dur)
+	fmt.Printf("data sent/received  %d / %d (+%d dup)\n", res.DataSent, res.DataDelivered, res.DupDelivered)
+	fmt.Printf("packet delivery     %.2f %%\n", res.PDR*100)
+	fmt.Printf("avg e2e delay       %.2f ms (p50 %.2f, p95 %.2f)\n", res.AvgDelay*1e3, res.P50Delay*1e3, res.P95Delay*1e3)
+	fmt.Printf("throughput          %.1f kbit/s\n", res.ThroughputKbps)
+	fmt.Printf("routing overhead    %d pkts (%.1f kB), NRL %.2f\n",
+		res.RoutingTxPackets, float64(res.RoutingTxBytes)/1000, res.NormalizedRoutingLoad)
+	fmt.Printf("MAC ctl frames      %d, normalized MAC load %.2f\n", res.MacCtlFrames, res.NormalizedMacLoad)
+	fmt.Printf("avg hops            %.2f (optimal-path share %.1f %%)\n", res.AvgHops, res.PathOptimalityShare()*100)
+
+	if *verbose {
+		fmt.Println("\ndrops:")
+		type kv struct {
+			k string
+			v uint64
+		}
+		var drops []kv
+		for r, n := range res.Drops {
+			drops = append(drops, kv{string(r), n})
+		}
+		sort.Slice(drops, func(i, j int) bool { return drops[i].k < drops[j].k })
+		for _, d := range drops {
+			fmt.Printf("  %-22s %d\n", d.k, d.v)
+		}
+		fmt.Println("routing overhead by message type:")
+		var types []kv
+		for t, n := range res.RoutingByType {
+			types = append(types, kv{t, n})
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i].k < types[j].k })
+		for _, t := range types {
+			fmt.Printf("  %-22s %d\n", t.k, t.v)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Clustering example: watch CBRP organise a static network into clusters.
+// It wires the stack manually (below the adhocsim facade) to inspect
+// protocol state, then draws the cluster map as ASCII art.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/routing/cbrp"
+	"adhocsim/internal/sim"
+)
+
+func main() {
+	const n = 30
+	area := geo.Rect{W: 1200, H: 500}
+
+	// A jittered grid keeps the picture readable.
+	model := mobility.StaticGrid{Area: area, Jitter: 60}
+	tracks, err := model.Generate(n, 0, sim.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agents := make([]*cbrp.CBRP, n)
+	world, err := network.NewWorld(network.Config{
+		Tracks: tracks,
+		Radio:  phy.DefaultParams(),
+		Protocol: func(id pkt.NodeID) network.Protocol {
+			agents[id] = cbrp.New(cbrp.Config{})
+			return agents[id]
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	world.Start()
+
+	// Let HELLO beacons run for 20 simulated seconds (about 10 rounds).
+	if err := world.Run(sim.At(20)); err != nil {
+		log.Fatal(err)
+	}
+
+	heads, members := 0, 0
+	for _, a := range agents {
+		switch a.Status() {
+		case cbrp.Head:
+			heads++
+		case cbrp.Member:
+			members++
+		}
+	}
+	fmt.Printf("after 20 s of beaconing: %d cluster heads, %d members, %d undecided\n\n",
+		heads, members, n-heads-members)
+
+	// ASCII map: heads as capital letters, members in lowercase of their
+	// (lowest-id) head's letter.
+	const cols, rows = 60, 20
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+		for c := range grid[r] {
+			grid[r][c] = '.'
+		}
+	}
+	headLetter := map[pkt.NodeID]byte{}
+	next := byte('A')
+	for id, a := range agents {
+		if a.Status() == cbrp.Head {
+			headLetter[pkt.NodeID(id)] = next
+			if next < 'Z' {
+				next++
+			}
+		}
+	}
+	for id, a := range agents {
+		p := tracks[id].At(0)
+		c := int(p.X / area.W * (cols - 1))
+		r := int(p.Y / area.H * (rows - 1))
+		ch := byte('?')
+		switch a.Status() {
+		case cbrp.Head:
+			ch = headLetter[pkt.NodeID(id)]
+		case cbrp.Member:
+			hs := a.Heads()
+			if len(hs) > 0 {
+				min := hs[0]
+				for _, h := range hs {
+					if h < min {
+						min = h
+					}
+				}
+				ch = headLetter[min] + ('a' - 'A')
+			}
+		}
+		grid[rows-1-r][c] = ch
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+	fmt.Println("\ncapitals = cluster heads, lowercase = members of that head's cluster")
+
+	fmt.Println("\nper-node roles:")
+	for id, a := range agents {
+		fmt.Printf("  n%-3d %-9s heads=%v\n", id, a.Status(), a.Heads())
+	}
+}

@@ -1,0 +1,42 @@
+// Density example: how protocol behaviour changes with network size (the
+// study's Figure 6 axis), here for DSR vs AODV with a fixed area so that
+// adding nodes increases density and contention together.
+//
+//	go run ./examples/density
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocsim"
+)
+
+func main() {
+	opts := adhocsim.DefaultOptions()
+	opts.Protocols = []string{adhocsim.DSR, adhocsim.AODV, adhocsim.CBRP}
+	opts.Base.Duration = 100 * adhocsim.Second
+	opts.Base.Sources = 8
+	opts.Seeds = []int64{1, 2}
+
+	nodes := []float64{10, 20, 30, 40}
+	fmt.Println("sweeping node count", nodes, "...")
+	sweep, err := adhocsim.DensitySweep(opts, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fig := range []adhocsim.Figure{
+		{ID: "pdr", Title: "PDR vs node count", Metric: adhocsim.MetricPDR, Sweep: sweep},
+		{ID: "nrl", Title: "Normalized routing load vs node count", Metric: adhocsim.MetricNRL, Sweep: sweep},
+		{ID: "hops", Title: "Average hops vs node count", Metric: adhocsim.MetricAvgHops, Sweep: sweep},
+	} {
+		fmt.Println()
+		fmt.Print(adhocsim.RenderFigure(fig))
+	}
+
+	fmt.Println("\nAt 10 nodes the 1500x300 m strip is frequently partitioned — every")
+	fmt.Println("protocol loses packets to unreachable destinations. CBRP's clustering")
+	fmt.Println("pays off as density rises: more redundant neighbours per cluster head")
+	fmt.Println("means fewer RREQ retransmissions than blind flooding would cost.")
+}

@@ -1,0 +1,50 @@
+// Group-mobility example: the convoy/team scenario that motivates
+// cluster-based routing. Nodes move in coherent groups (Reference Point
+// Group Mobility) instead of independently; CBRP's clusters then map onto
+// real structure, while DSR/AODV see fewer but burstier link breaks (whole
+// groups part ways at once).
+//
+//	go run ./examples/group_mobility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocsim"
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/sim"
+)
+
+func main() {
+	spec := adhocsim.DefaultSpec()
+	spec.Nodes = 24
+	spec.Area = adhocsim.Rect{W: 1200, H: 600}
+	spec.Duration = 120 * adhocsim.Second
+	spec.Sources = 8
+	spec.Model = mobility.GroupMobility{
+		Area:     geo.Rect{W: 1200, H: 600},
+		Groups:   4, // four 6-node teams
+		MinSpeed: 2,
+		MaxSpeed: 10,
+		Pause:    10 * sim.Second,
+		Spread:   90,
+	}
+
+	fmt.Println("four 6-node teams roaming a 1200x600 m area (RPGM):")
+	fmt.Printf("%-8s %8s %10s %12s %10s\n", "proto", "PDR", "delay", "overhead", "NRL")
+	for _, proto := range adhocsim.StudyProtocols() {
+		res, err := adhocsim.RunReplicated(
+			adhocsim.RunConfig{Spec: spec, Protocol: proto},
+			[]int64{1, 2}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %7.1f%% %8.1fms %9d tx %10.2f\n",
+			proto, res.PDR*100, res.AvgDelay*1e3, res.RoutingTxPackets, res.NormalizedRoutingLoad)
+	}
+	fmt.Println("\nCompare with `go run ./examples/pause_sweep` (independent random")
+	fmt.Println("waypoint): grouped motion favours clustering — CBRP's HELLO cost is")
+	fmt.Println("amortized over stable intra-team links.")
+}

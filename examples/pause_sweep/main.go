@@ -1,0 +1,43 @@
+// Pause-sweep example: the study's headline experiment (Figures 1-4) at a
+// reduced scale — all five protocols across the mobility axis.
+//
+//	go run ./examples/pause_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocsim"
+)
+
+func main() {
+	opts := adhocsim.DefaultOptions()
+	opts.Base.Nodes = 25
+	opts.Base.Area = adhocsim.Rect{W: 900, H: 300}
+	opts.Base.Duration = 100 * adhocsim.Second
+	opts.Base.Sources = 8
+	opts.Seeds = []int64{1, 2}
+
+	// Pause times from "always moving" to "static for the whole run".
+	pauses := []float64{0, 25, 50, 100}
+
+	fmt.Println("running", len(opts.Protocols), "protocols x", len(pauses), "pause times x", len(opts.Seeds), "seeds...")
+	sweep, err := adhocsim.PauseSweep(opts, pauses)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fig := range []adhocsim.Figure{
+		{ID: "pdr", Title: "Packet delivery ratio vs pause time", Metric: adhocsim.MetricPDR, Sweep: sweep},
+		{ID: "overhead", Title: "Routing overhead vs pause time", Metric: adhocsim.MetricOverhead, Sweep: sweep},
+		{ID: "delay", Title: "End-to-end delay vs pause time", Metric: adhocsim.MetricDelay, Sweep: sweep},
+	} {
+		fmt.Println()
+		fmt.Print(adhocsim.RenderFigure(fig))
+	}
+
+	fmt.Println("\nReading the shape: DSR should show the least overhead (source routing")
+	fmt.Println("+ caching), AODV more RREQ traffic at pause 0, DSDV roughly flat")
+	fmt.Println("overhead but the lowest delivery under constant motion.")
+}

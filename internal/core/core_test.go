@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+)
+
+// smallSpec is a fast mobile scenario exercising every code path: 20 nodes,
+// 60 simulated seconds, 5 CBR flows.
+func smallSpec() scenario.Spec {
+	s := scenario.Default()
+	s.Nodes = 20
+	s.Area = geo.Rect{W: 800, H: 300}
+	s.Duration = 60 * sim.Second
+	s.Sources = 5
+	s.StartMin = 5 * sim.Second
+	s.StartMax = 15 * sim.Second
+	return s
+}
+
+// staticSpec is a dense, motionless scenario where routing should be nearly
+// lossless once converged.
+func staticSpec() scenario.Spec {
+	s := smallSpec()
+	s.MaxSpeed = 0
+	s.MinSpeed = 0
+	s.Nodes = 25
+	s.Area = geo.Rect{W: 700, H: 300}
+	return s
+}
+
+func runOne(t *testing.T, spec scenario.Spec, proto string, seed int64) stats.Results {
+	t.Helper()
+	res, err := Run(RunConfig{Spec: spec, Protocol: proto, Seed: seed})
+	if err != nil {
+		t.Fatalf("%s: %v", proto, err)
+	}
+	return res
+}
+
+func TestStaticDeliveryAllProtocols(t *testing.T) {
+	for _, proto := range AllProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			res := runOne(t, staticSpec(), proto, 11)
+			if res.DataSent == 0 {
+				t.Fatal("no traffic generated")
+			}
+			min := 0.85
+			if proto == Flood {
+				min = 0.60 // broadcast storms lose more
+			}
+			if proto == DSDV {
+				min = 0.70 // needs convergence time at the start
+			}
+			if res.PDR < min {
+				t.Fatalf("static PDR = %.3f < %.2f (sent=%d recv=%d drops=%v)",
+					res.PDR, min, res.DataSent, res.DataDelivered, res.Drops)
+			}
+		})
+	}
+}
+
+func TestMobileDeliveryAllProtocols(t *testing.T) {
+	for _, proto := range StudyProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			res := runOne(t, smallSpec(), proto, 7)
+			min := 0.5
+			if proto == DSDV {
+				// Stale-route losses at 20 m/s / pause 0 are DSDV's
+				// characteristic weakness (a headline finding of the
+				// study family), and the short run includes the
+				// initial table-convergence window.
+				min = 0.40
+			}
+			if res.PDR < min {
+				t.Fatalf("mobile PDR = %.3f too low (sent=%d recv=%d drops=%v)",
+					res.PDR, res.DataSent, res.DataDelivered, res.Drops)
+			}
+			if res.AvgDelay <= 0 {
+				t.Fatal("no delay recorded")
+			}
+			if res.AvgHops < 1 {
+				t.Fatalf("avg hops %.2f < 1", res.AvgHops)
+			}
+		})
+	}
+}
+
+func TestProactiveProtocolsBeacon(t *testing.T) {
+	// Proactive protocols emit periodic control traffic regardless of
+	// load; the matching quiescence property for on-demand protocols is
+	// covered in the aodv and dsr package tests.
+	spec := smallSpec()
+	spec.Sources = 1
+	for _, proto := range []string{DSDV, CBRP} {
+		res := runOne(t, spec, proto, 3)
+		if res.RoutingTxPackets == 0 {
+			t.Fatalf("%s sent no periodic traffic", proto)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := smallSpec()
+	for _, proto := range []string{DSR, AODV, DSDV} {
+		a := runOne(t, spec, proto, 42)
+		b := runOne(t, spec, proto, 42)
+		if a.DataSent != b.DataSent || a.DataDelivered != b.DataDelivered ||
+			a.RoutingTxPackets != b.RoutingTxPackets || a.AvgDelay != b.AvgDelay {
+			t.Fatalf("%s: same seed, different results: %+v vs %+v", proto, a, b)
+		}
+		c := runOne(t, spec, proto, 43)
+		if a.DataDelivered == c.DataDelivered && a.RoutingTxPackets == c.RoutingTxPackets &&
+			a.AvgDelay == c.AvgDelay {
+			t.Fatalf("%s: different seeds produced identical results (suspicious)", proto)
+		}
+	}
+}
+
+func TestRunReplicatedMergesSeeds(t *testing.T) {
+	spec := smallSpec()
+	spec.Duration = 30 * sim.Second
+	res, err := RunReplicated(RunConfig{Spec: spec, Protocol: DSR}, []int64{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(RunConfig{Spec: spec, Protocol: DSR, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent <= single.DataSent {
+		t.Fatalf("merged DataSent %d not cumulative over seeds (single %d)", res.DataSent, single.DataSent)
+	}
+}
+
+func TestFactoryUnknownProtocol(t *testing.T) {
+	if _, err := FactoryFor("OSPF", phy.DefaultParams(), ProtocolTweaks{}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	for _, p := range AllProtocols() {
+		if _, err := FactoryFor(p, phy.DefaultParams(), ProtocolTweaks{}); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}

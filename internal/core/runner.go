@@ -1,0 +1,314 @@
+// Package core is the comparison-study harness — the paper's contribution.
+// It executes scenario×protocol×seed simulation runs (in parallel across
+// runs, each run single-threaded and deterministic), aggregates replication
+// seeds, and regenerates every figure and table of the evaluation.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"adhocsim/internal/mac"
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/routing/aodv"
+	"adhocsim/internal/routing/cbrp"
+	"adhocsim/internal/routing/dsdv"
+	"adhocsim/internal/routing/dsr"
+	"adhocsim/internal/routing/flood"
+	"adhocsim/internal/routing/paodv"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+	"adhocsim/internal/topo"
+	"adhocsim/internal/trace"
+	"adhocsim/internal/traffic"
+)
+
+// Protocol names accepted by the harness.
+const (
+	DSR   = "DSR"
+	AODV  = "AODV"
+	PAODV = "PAODV"
+	CBRP  = "CBRP"
+	DSDV  = "DSDV"
+	Flood = "FLOOD"
+)
+
+// StudyProtocols are the protocols of the IPPS'01 comparison, in the order
+// figures present them.
+func StudyProtocols() []string { return []string{DSR, AODV, PAODV, CBRP, DSDV} }
+
+// AllProtocols additionally includes the flooding yardstick.
+func AllProtocols() []string { return append(StudyProtocols(), Flood) }
+
+// ProtocolTweaks carries ablation overrides threaded into factories.
+type ProtocolTweaks struct {
+	AODV aodv.Config
+	DSR  dsr.Config
+	CBRP cbrp.Config
+	DSDV dsdv.Config
+}
+
+// FactoryFor resolves a protocol name to a factory. Radio parameters are
+// needed by PAODV (its warning threshold is a received-power level).
+func FactoryFor(name string, radio phy.RadioParams, tweaks ProtocolTweaks) (network.ProtocolFactory, error) {
+	switch name {
+	case DSR:
+		return dsr.Factory(tweaks.DSR), nil
+	case AODV:
+		return aodv.Factory(tweaks.AODV), nil
+	case PAODV:
+		return paodv.Factory(paodv.Config{AODV: tweaks.AODV, Radio: radio}), nil
+	case CBRP:
+		return cbrp.Factory(tweaks.CBRP), nil
+	case DSDV:
+		return dsdv.Factory(tweaks.DSDV), nil
+	case Flood:
+		return flood.Factory(flood.Config{}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %q", name)
+	}
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Spec     scenario.Spec
+	Protocol string
+	Seed     int64
+	Mac      mac.Config
+	Tweaks   ProtocolTweaks
+	// EventLimit guards against runaway loops (0 = a generous default
+	// scaled by duration and node count).
+	EventLimit uint64
+	// Tracer, when non-nil, receives every network-layer packet event
+	// (use only with a single seed; trace interleaving across parallel
+	// replications is not meaningful).
+	Tracer trace.Tracer
+}
+
+// Run executes one scenario×protocol×seed simulation and returns its
+// metrics.
+func Run(rc RunConfig) (stats.Results, error) {
+	inst, err := rc.Spec.Generate(rc.Seed)
+	if err != nil {
+		return stats.Results{}, err
+	}
+	factory, err := FactoryFor(rc.Protocol, inst.Radio, rc.Tweaks)
+	if err != nil {
+		return stats.Results{}, err
+	}
+	oracle := topo.NewOracle(inst.Tracks, inst.Radio.RxRange())
+	world, err := network.NewWorld(network.Config{
+		Tracks:   inst.Tracks,
+		Radio:    inst.Radio,
+		Mac:      rc.Mac,
+		Protocol: factory,
+		Seed:     rc.Seed ^ 0x5eed,
+		Oracle:   oracle,
+		Tracer:   rc.Tracer,
+	})
+	if err != nil {
+		return stats.Results{}, err
+	}
+	if _, err := traffic.Install(world, inst.Connections, sim.Time(0).Add(rc.Spec.Duration)); err != nil {
+		return stats.Results{}, err
+	}
+	limit := rc.EventLimit
+	if limit == 0 {
+		// ~2M events per simulated second per 40 nodes is far beyond
+		// any sane protocol; treat exceeding it as a bug.
+		limit = uint64(rc.Spec.Duration.Seconds()*2e6) * uint64(rc.Spec.Nodes) / 40
+		if limit < 10_000_000 {
+			limit = 10_000_000
+		}
+	}
+	world.Eng.Limit = limit
+	world.Start()
+	if err := world.Run(sim.Time(0).Add(rc.Spec.Duration)); err != nil {
+		return stats.Results{}, fmt.Errorf("%s seed %d: %w", rc.Protocol, rc.Seed, err)
+	}
+	return world.Collector.Finalize(), nil
+}
+
+// RunReplicated executes the run for each seed in parallel and merges the
+// results.
+func RunReplicated(rc RunConfig, seeds []int64, workers int) (stats.Results, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	if len(seeds) == 1 {
+		rc.Seed = seeds[0]
+		return Run(rc)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]stats.Results, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := rc
+			r.Seed = seed
+			results[i], errs[i] = Run(r)
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Results{}, err
+		}
+	}
+	return stats.MergeResults(results), nil
+}
+
+// Options configure a sweep: the scenario template, the protocols compared,
+// replication seeds and parallelism.
+type Options struct {
+	Base      scenario.Spec
+	Protocols []string
+	Seeds     []int64
+	Workers   int
+	Mac       mac.Config
+	Tweaks    ProtocolTweaks
+}
+
+// DefaultOptions returns study defaults (all five protocols, 3 seeds).
+func DefaultOptions() Options {
+	return Options{
+		Base:      scenario.Default(),
+		Protocols: StudyProtocols(),
+		Seeds:     []int64{1, 2, 3},
+	}
+}
+
+// SweepResult holds merged results for each protocol at each sweep point.
+type SweepResult struct {
+	XLabel    string
+	Xs        []float64
+	Protocols []string
+	// Cells[protocol][i] is the merged result at Xs[i].
+	Cells map[string][]stats.Results
+}
+
+// runSweep evaluates every protocol at every x (modifying the spec via
+// apply), parallelising across (protocol, x, seed).
+func runSweep(opts Options, xLabel string, xs []float64, apply func(*scenario.Spec, float64)) (*SweepResult, error) {
+	if len(opts.Protocols) == 0 {
+		opts.Protocols = StudyProtocols()
+	}
+	if len(opts.Seeds) == 0 {
+		opts.Seeds = []int64{1}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		proto   string
+		xi      int
+		seedIdx int
+	}
+	type slot struct {
+		res stats.Results
+		err error
+	}
+	jobs := make([]job, 0, len(opts.Protocols)*len(xs)*len(opts.Seeds))
+	for _, p := range opts.Protocols {
+		for xi := range xs {
+			for si := range opts.Seeds {
+				jobs = append(jobs, job{p, xi, si})
+			}
+		}
+	}
+	slots := make(map[job]*slot, len(jobs))
+	for _, j := range jobs {
+		slots[j] = &slot{}
+	}
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				spec := opts.Base
+				apply(&spec, xs[j.xi])
+				rc := RunConfig{
+					Spec:     spec,
+					Protocol: j.proto,
+					Seed:     opts.Seeds[j.seedIdx],
+					Mac:      opts.Mac,
+					Tweaks:   opts.Tweaks,
+				}
+				s := slots[j]
+				s.res, s.err = Run(rc)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	out := &SweepResult{
+		XLabel:    xLabel,
+		Xs:        xs,
+		Protocols: append([]string(nil), opts.Protocols...),
+		Cells:     make(map[string][]stats.Results),
+	}
+	for _, p := range opts.Protocols {
+		row := make([]stats.Results, len(xs))
+		for xi := range xs {
+			var reps []stats.Results
+			for si := range opts.Seeds {
+				s := slots[job{p, xi, si}]
+				if s.err != nil {
+					return nil, s.err
+				}
+				reps = append(reps, s.res)
+			}
+			row[xi] = stats.MergeResults(reps)
+		}
+		out.Cells[p] = row
+	}
+	return out, nil
+}
+
+// Metric extracts a scalar from run results for rendering.
+type Metric struct {
+	Name  string
+	Unit  string
+	Value func(stats.Results) float64
+}
+
+// Metrics available to figures and tables.
+var (
+	MetricPDR        = Metric{"pdr", "%", func(r stats.Results) float64 { return r.PDR * 100 }}
+	MetricDelay      = Metric{"delay", "ms", func(r stats.Results) float64 { return r.AvgDelay * 1000 }}
+	MetricOverhead   = Metric{"routing_overhead", "pkts", func(r stats.Results) float64 { return float64(r.RoutingTxPackets) }}
+	MetricNRL        = Metric{"nrl", "tx/delivered", func(r stats.Results) float64 { return r.NormalizedRoutingLoad }}
+	MetricThroughput = Metric{"throughput", "kbit/s", func(r stats.Results) float64 { return r.ThroughputKbps }}
+	MetricMacLoad    = Metric{"mac_load", "frames/delivered", func(r stats.Results) float64 { return r.NormalizedMacLoad }}
+	MetricAvgHops    = Metric{"avg_hops", "hops", func(r stats.Results) float64 { return r.AvgHops }}
+)
+
+// sortedKeys is a small helper for deterministic map iteration in renders.
+func sortedKeys[M ~map[string]uint64](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"adhocsim/internal/stats"
+)
+
+// fabricated result sets that match / violate the documented shapes.
+func goodShape() (mobile, static map[string]stats.Results) {
+	mobile = map[string]stats.Results{
+		DSR: {PDR: 0.96, AvgDelay: 0.06, RoutingTxPackets: 9000, NormalizedRoutingLoad: 1.1,
+			RoutingByType: map[string]uint64{"RREQ": 5000}},
+		AODV: {PDR: 0.97, AvgDelay: 0.05, RoutingTxPackets: 19000, NormalizedRoutingLoad: 2.4,
+			RoutingByType: map[string]uint64{"RREQ": 14000}},
+		PAODV: {PDR: 0.96, AvgDelay: 0.06, RoutingTxPackets: 26000, NormalizedRoutingLoad: 3.3,
+			RoutingByType: map[string]uint64{"RREQ": 16000}},
+		CBRP: {PDR: 0.99, AvgDelay: 0.09, RoutingTxPackets: 14000, NormalizedRoutingLoad: 1.7,
+			RoutingByType: map[string]uint64{"RREQ": 7000, "HELLO": 6000}},
+		DSDV: {PDR: 0.82, AvgDelay: 0.005, RoutingTxPackets: 10000, NormalizedRoutingLoad: 1.5,
+			RoutingByType: map[string]uint64{"UPDATE": 10000}},
+	}
+	static = map[string]stats.Results{
+		DSR:   {PDR: 0.999, RoutingTxPackets: 600},
+		AODV:  {PDR: 0.997, RoutingTxPackets: 5700},
+		PAODV: {PDR: 0.999, RoutingTxPackets: 10000},
+		CBRP:  {PDR: 0.999, RoutingTxPackets: 14000},
+		DSDV:  {PDR: 0.999, RoutingTxPackets: 9100},
+	}
+	return mobile, static
+}
+
+func TestFindingsPassOnDocumentedShape(t *testing.T) {
+	mobile, static := goodShape()
+	for _, f := range Findings() {
+		ok, detail := f.Check(mobile, static)
+		if !ok {
+			t.Errorf("%s failed on the documented shape: %s", f.ID, detail)
+		}
+		if detail == "" {
+			t.Errorf("%s produced no detail", f.ID)
+		}
+	}
+}
+
+func TestFindingsCatchViolations(t *testing.T) {
+	byID := map[string]Finding{}
+	for _, f := range Findings() {
+		byID[f.ID] = f
+	}
+
+	// DSR more expensive than AODV: F1 must fail.
+	mobile, static := goodShape()
+	r := mobile[DSR]
+	r.RoutingTxPackets = 50000
+	mobile[DSR] = r
+	if ok, _ := byID["F1-dsr-beats-aodv-overhead"].Check(mobile, static); ok {
+		t.Error("F1 did not catch inverted overhead")
+	}
+
+	// DSDV delivering more than everyone: F2 must fail.
+	mobile, static = goodShape()
+	r = mobile[DSDV]
+	r.PDR = 0.999
+	mobile[DSDV] = r
+	if ok, _ := byID["F2-ondemand-beats-dsdv-pdr"].Check(mobile, static); ok {
+		t.Error("F2 did not catch DSDV winning PDR")
+	}
+
+	// DSDV overhead exploding when static: F3 must fail.
+	mobile, static = goodShape()
+	r = static[DSDV]
+	r.RoutingTxPackets = 100000
+	static[DSDV] = r
+	if ok, _ := byID["F3-dsdv-overhead-flat"].Check(mobile, static); ok {
+		t.Error("F3 did not catch non-flat DSDV overhead")
+	}
+
+	// Lossy static network: F7 must fail.
+	mobile, static = goodShape()
+	r = static[AODV]
+	r.PDR = 0.5
+	static[AODV] = r
+	if ok, _ := byID["F7-static-near-lossless"].Check(mobile, static); ok {
+		t.Error("F7 did not catch static losses")
+	}
+
+	// CBRP flooding more than AODV: F8 must fail.
+	mobile, static = goodShape()
+	r = mobile[CBRP]
+	r.RoutingByType = map[string]uint64{"RREQ": 50000, "HELLO": 6000}
+	mobile[CBRP] = r
+	if ok, _ := byID["F8-cbrp-cheap-floods"].Check(mobile, static); ok {
+		t.Error("F8 did not catch CBRP out-flooding AODV")
+	}
+}
+
+func TestRenderVerify(t *testing.T) {
+	results := []VerifyResult{
+		{Finding: Finding{ID: "x", Claim: "c"}, Pass: true, Detail: "d1"},
+		{Finding: Finding{ID: "y", Claim: "c2"}, Pass: false, Detail: "d2"},
+	}
+	out := RenderVerify(results)
+	if !strings.Contains(out, "[PASS] x") || !strings.Contains(out, "[FAIL] y") {
+		t.Fatalf("report:\n%s", out)
+	}
+	if !strings.Contains(out, "1/2 findings reproduced") {
+		t.Fatalf("tally missing:\n%s", out)
+	}
+}

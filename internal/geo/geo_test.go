@@ -1,0 +1,224 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(4, 6)
+	if p.Add(q) != Pt(5, 8) {
+		t.Fatal("Add")
+	}
+	if q.Sub(p) != Pt(3, 4) {
+		t.Fatal("Sub")
+	}
+	if !almostEq(p.Dist(q), 5) {
+		t.Fatalf("Dist = %v", p.Dist(q))
+	}
+	if !almostEq(p.Dist2(q), 25) {
+		t.Fatal("Dist2")
+	}
+	if p.Scale(2) != Pt(2, 4) {
+		t.Fatal("Scale")
+	}
+	if !almostEq(p.Dot(q), 16) {
+		t.Fatal("Dot")
+	}
+	if u := Pt(3, 4).Unit(); !almostEq(u.Len(), 1) {
+		t.Fatal("Unit length")
+	}
+	if Pt(0, 0).Unit() != Pt(0, 0) {
+		t.Fatal("Unit of zero")
+	}
+	if s := Pt(1, 2).String(); s != "(1.00, 2.00)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	// t=0 is an exact identity; t=1 holds to within a relative epsilon
+	// (p + (q-p) may round for extreme magnitudes).
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := Pt(r.Float64()*2000-1000, r.Float64()*2000-1000)
+		b := Pt(r.Float64()*2000-1000, r.Float64()*2000-1000)
+		if a.Lerp(b, 0) != a {
+			t.Fatalf("Lerp(0) != a for %v %v", a, b)
+		}
+		if e := a.Lerp(b, 1); e.Dist(b) > 1e-9 {
+			t.Fatalf("Lerp(1) = %v, want %v", e, b)
+		}
+	}
+}
+
+func TestUnitScaleProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		p := Pt(math.Mod(x, 1e6), math.Mod(y, 1e6))
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || (p.X == 0 && p.Y == 0) {
+			return true
+		}
+		u := p.Unit()
+		return math.Abs(u.Len()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpMidpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Pt(r.Float64()*1000, r.Float64()*1000)
+		b := Pt(r.Float64()*1000, r.Float64()*1000)
+		m := a.Lerp(b, 0.5)
+		if !almostEq(m.Dist(a), m.Dist(b)) {
+			t.Fatalf("midpoint not equidistant: %v %v %v", a, b, m)
+		}
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{W: 100, H: 50}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(100, 50)) || r.Contains(Pt(100.1, 0)) || r.Contains(Pt(-1, 10)) {
+		t.Fatal("Contains")
+	}
+	if r.Clamp(Pt(-5, 60)) != Pt(0, 50) {
+		t.Fatal("Clamp")
+	}
+	if r.Clamp(Pt(40, 20)) != Pt(40, 20) {
+		t.Fatal("Clamp of inner point must be identity")
+	}
+	if !almostEq(r.Area(), 5000) {
+		t.Fatal("Area")
+	}
+	if !almostEq(r.Diagonal(), math.Hypot(100, 50)) {
+		t.Fatal("Diagonal")
+	}
+}
+
+func TestGridBasic(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(5, 5))
+	g.Insert(2, Pt(15, 5))
+	g.Insert(3, Pt(95, 95))
+	got := g.Within(Pt(0, 0), 20, -1, nil)
+	if len(got) != 2 {
+		t.Fatalf("Within found %v, want ids 1,2", got)
+	}
+	got = g.Within(Pt(0, 0), 20, 1, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Within with exclusion found %v, want [2]", got)
+	}
+	if g.Len() != 3 {
+		t.Fatal("Len")
+	}
+	p, ok := g.Position(3)
+	if !ok || p != Pt(95, 95) {
+		t.Fatal("Position")
+	}
+	g.Remove(2)
+	if got := g.Within(Pt(0, 0), 200, -1, nil); len(got) != 2 {
+		t.Fatalf("after Remove: %v", got)
+	}
+	g.Remove(2) // removing twice is a no-op
+	if g.Len() != 2 {
+		t.Fatal("Len after double remove")
+	}
+}
+
+func TestGridMove(t *testing.T) {
+	g := NewGrid(25)
+	g.Insert(7, Pt(0, 0))
+	g.Move(7, Pt(300, 300))
+	if got := g.Within(Pt(0, 0), 50, -1, nil); len(got) != 0 {
+		t.Fatalf("item still found at old cell: %v", got)
+	}
+	if got := g.Within(Pt(300, 300), 1, -1, nil); len(got) != 1 {
+		t.Fatalf("item not found at new cell: %v", got)
+	}
+	// Move within the same cell.
+	g.Move(7, Pt(301, 301))
+	if got := g.Within(Pt(301, 301), 2, -1, nil); len(got) != 1 {
+		t.Fatal("intra-cell move lost item")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Move of unknown id must panic")
+		}
+	}()
+	g.Move(99, Pt(0, 0))
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, Pt(-5, -5))
+	g.Insert(2, Pt(-15, -25))
+	if got := g.Within(Pt(-10, -10), 30, -1, nil); len(got) != 2 {
+		t.Fatalf("negative-coordinate query found %v", got)
+	}
+}
+
+// TestGridMatchesBruteForce is the core correctness property: Within must
+// return exactly the set a brute-force distance scan returns.
+func TestGridMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		cell := 5 + r.Float64()*100
+		g := NewGrid(cell)
+		n := 50 + r.Intn(100)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*1500, r.Float64()*300)
+			g.Insert(int32(i), pts[i])
+		}
+		for q := 0; q < 20; q++ {
+			c := Pt(r.Float64()*1500, r.Float64()*300)
+			radius := r.Float64() * 400
+			got := g.Within(c, radius, -1, nil)
+			want := map[int32]bool{}
+			for i, p := range pts {
+				if p.Dist(c) <= radius {
+					want[int32(i)] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cell=%.1f r=%.1f: grid found %d, brute force %d", cell, radius, len(got), len(want))
+			}
+			for _, id := range got {
+				if !want[id] {
+					t.Fatalf("grid returned id %d outside radius", id)
+				}
+			}
+		}
+	}
+}
+
+func TestGridForEach(t *testing.T) {
+	g := NewGrid(10)
+	for i := int32(0); i < 10; i++ {
+		g.Insert(i, Pt(float64(i)*7, 0))
+	}
+	seen := map[int32]bool{}
+	g.ForEach(func(id int32, p Point) { seen[id] = true })
+	if len(seen) != 10 {
+		t.Fatalf("ForEach visited %d items", len(seen))
+	}
+}
+
+func BenchmarkGridWithin(b *testing.B) {
+	g := NewGrid(250)
+	r := rand.New(rand.NewSource(1))
+	for i := int32(0); i < 100; i++ {
+		g.Insert(i, Pt(r.Float64()*1500, r.Float64()*300))
+	}
+	buf := make([]int32, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(Pt(750, 150), 250, -1, buf[:0])
+	}
+}

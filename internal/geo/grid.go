@@ -1,0 +1,128 @@
+package geo
+
+// Grid is a uniform spatial hash over integer item ids. It supports moving
+// items and querying all items within a radius of a point. Cell size should
+// be on the order of the query radius for best performance; correctness does
+// not depend on it.
+//
+// The grid uses open hashing on (cx,cy) cell coordinates so it handles
+// unbounded coordinates (nodes may briefly leave the nominal area).
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]int32
+	pos   map[int32]Point
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// NewGrid creates a grid with the given cell edge length in metres.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("geo: non-positive grid cell size")
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]int32),
+		pos:   make(map[int32]Point),
+	}
+}
+
+func (g *Grid) key(p Point) cellKey {
+	return cellKey{int32(floorDiv(p.X, g.cell)), int32(floorDiv(p.Y, g.cell))}
+}
+
+func floorDiv(a, b float64) float64 {
+	q := a / b
+	f := float64(int64(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}
+
+// Insert adds an item at p. Inserting an existing id moves it.
+func (g *Grid) Insert(id int32, p Point) {
+	if old, ok := g.pos[id]; ok {
+		ko, kn := g.key(old), g.key(p)
+		if ko == kn {
+			g.pos[id] = p
+			return
+		}
+		g.removeFromCell(ko, id)
+	}
+	g.pos[id] = p
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+}
+
+// Move updates an item's position. It panics if the id is unknown.
+func (g *Grid) Move(id int32, p Point) {
+	if _, ok := g.pos[id]; !ok {
+		panic("geo: Move of unknown grid item")
+	}
+	g.Insert(id, p)
+}
+
+// Remove deletes an item. Removing an unknown id is a no-op.
+func (g *Grid) Remove(id int32) {
+	p, ok := g.pos[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(g.key(p), id)
+	delete(g.pos, id)
+}
+
+func (g *Grid) removeFromCell(k cellKey, id int32) {
+	items := g.cells[k]
+	for i, v := range items {
+		if v == id {
+			items[i] = items[len(items)-1]
+			items = items[:len(items)-1]
+			break
+		}
+	}
+	if len(items) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = items
+	}
+}
+
+// Position returns the stored position of id.
+func (g *Grid) Position(id int32) (Point, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// Len returns the number of stored items.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Within appends to dst the ids of all items with Dist(center) <= r,
+// excluding exclude (pass a negative id to exclude nothing), and returns the
+// extended slice. Results are in arbitrary order.
+func (g *Grid) Within(center Point, r float64, exclude int32, dst []int32) []int32 {
+	r2 := r * r
+	lo := g.key(Point{center.X - r, center.Y - r})
+	hi := g.key(Point{center.X + r, center.Y + r})
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for _, id := range g.cells[cellKey{cx, cy}] {
+				if id == exclude {
+					continue
+				}
+				if g.pos[id].Dist2(center) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// ForEach visits every stored item.
+func (g *Grid) ForEach(fn func(id int32, p Point)) {
+	for id, p := range g.pos {
+		fn(id, p)
+	}
+}

@@ -1,0 +1,97 @@
+package mobility
+
+import (
+	"fmt"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/sim"
+)
+
+// GroupMobility is the Reference Point Group Mobility model (Hong et al.),
+// used by follow-up studies of the same protocol family: nodes are split
+// into groups; each group's logical centre performs a random-waypoint walk,
+// and members jitter around their group centre. It produces the correlated
+// motion of convoys and teams, the scenario CBRP's clustering was designed
+// for.
+type GroupMobility struct {
+	Area geo.Rect
+	// Groups is the number of groups; nodes are assigned round-robin.
+	Groups int
+	// MinSpeed/MaxSpeed bound the group-centre speed (m/s).
+	MinSpeed, MaxSpeed float64
+	// Pause is the group-centre pause time at each waypoint.
+	Pause sim.Duration
+	// Spread is the maximum member displacement from the group centre
+	// (metres).
+	Spread float64
+	// Resample is how often members draw a new offset around the centre
+	// (default 10 s).
+	Resample sim.Duration
+}
+
+// Generate produces n tracks covering [0, horizon].
+func (m GroupMobility) Generate(n int, horizon sim.Duration, rng *sim.RNG) ([]*Track, error) {
+	if m.Groups <= 0 {
+		return nil, fmt.Errorf("mobility: GroupMobility needs at least one group")
+	}
+	if m.Spread <= 0 {
+		return nil, fmt.Errorf("mobility: GroupMobility.Spread must be positive")
+	}
+	resample := m.Resample
+	if resample <= 0 {
+		resample = 10 * sim.Second
+	}
+	// Shrink the centre's roaming area so member jitter stays inside.
+	inner := geo.Rect{W: m.Area.W - 2*m.Spread, H: m.Area.H - 2*m.Spread}
+	if inner.W <= 0 || inner.H <= 0 {
+		return nil, fmt.Errorf("mobility: spread %.0f too large for area %+v", m.Spread, m.Area)
+	}
+	centreModel := RandomWaypoint{Area: inner, MinSpeed: m.MinSpeed, MaxSpeed: m.MaxSpeed, Pause: m.Pause}
+	centres, err := centreModel.Generate(m.Groups, horizon, rng.ForkNamed("centres"))
+	if err != nil {
+		return nil, err
+	}
+
+	tracks := make([]*Track, n)
+	memberRNG := rng.ForkNamed("members")
+	for i := 0; i < n; i++ {
+		centre := centres[i%m.Groups]
+		tracks[i] = m.memberTrack(centre, horizon, memberRNG.Fork(int64(i)))
+	}
+	return tracks, nil
+}
+
+// memberTrack samples the centre track and adds a slowly-changing offset,
+// emitting a piecewise-linear member track.
+func (m GroupMobility) memberTrack(centre *Track, horizon sim.Duration, rng *sim.RNG) *Track {
+	resample := m.Resample
+	if resample <= 0 {
+		resample = 10 * sim.Second
+	}
+	offset := func() geo.Point {
+		return geo.Pt(rng.Uniform(-m.Spread, m.Spread), rng.Uniform(-m.Spread, m.Spread))
+	}
+	var segs []Segment
+	cur := offset()
+	pos := m.Area.Clamp(centre.At(0).Add(cur).Add(geo.Pt(m.Spread, m.Spread)))
+	t := sim.Time(0)
+	end := sim.Time(0).Add(horizon)
+	for t <= end {
+		next := t.Add(resample)
+		cur = offset()
+		target := m.Area.Clamp(centre.At(next).Add(cur).Add(geo.Pt(m.Spread, m.Spread)))
+		dist := pos.Dist(target)
+		speed := dist / resample.Seconds()
+		if speed == 0 {
+			segs = append(segs, Segment{Start: t, From: pos, To: pos, Speed: 0})
+		} else {
+			segs = append(segs, Segment{Start: t, From: pos, To: target, Speed: speed})
+		}
+		pos = target
+		t = next
+	}
+	if len(segs) == 0 {
+		segs = append(segs, Segment{Start: 0, From: pos, To: pos, Speed: 0})
+	}
+	return MustTrack(segs)
+}

@@ -1,0 +1,115 @@
+// Package mobility generates and evaluates node movement patterns.
+//
+// Movement is precomputed: a generator (random waypoint, random walk, static)
+// expands a scenario into one Track per node, a piecewise-linear function of
+// virtual time. This mirrors ns-2/CMU practice, where the `setdest` tool
+// emits a movement script before the simulation starts, and makes position
+// queries cheap and the pattern independent of protocol behaviour.
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/sim"
+)
+
+// Segment is one leg of movement: the node departs From at Start and moves
+// toward To at Speed m/s (Speed 0 means it pauses at From). The segment ends
+// when the next one starts; the last segment extends forever.
+type Segment struct {
+	Start sim.Time
+	From  geo.Point
+	To    geo.Point
+	Speed float64 // metres per second; 0 = stationary
+}
+
+// Track is a node's full movement schedule, segments sorted by Start.
+type Track struct {
+	segs []Segment
+}
+
+// NewTrack builds a track from segments, which must be sorted by Start and
+// non-empty with the first segment at time 0.
+func NewTrack(segs []Segment) (*Track, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("mobility: empty track")
+	}
+	if segs[0].Start != 0 {
+		return nil, fmt.Errorf("mobility: first segment starts at %v, want 0", segs[0].Start)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start < segs[i-1].Start {
+			return nil, fmt.Errorf("mobility: segments out of order at %d", i)
+		}
+	}
+	return &Track{segs: segs}, nil
+}
+
+// MustTrack is NewTrack that panics on error (for generators and tests).
+func MustTrack(segs []Segment) *Track {
+	tr, err := NewTrack(segs)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Static returns a track that stays at p forever.
+func Static(p geo.Point) *Track {
+	return MustTrack([]Segment{{Start: 0, From: p, To: p, Speed: 0}})
+}
+
+// At returns the node position at time t.
+func (tr *Track) At(t sim.Time) geo.Point {
+	s := tr.segmentAt(t)
+	if s.Speed == 0 {
+		return s.From
+	}
+	dist := s.Speed * t.Sub(s.Start).Seconds()
+	total := s.From.Dist(s.To)
+	if total == 0 || dist >= total {
+		return s.To
+	}
+	return s.From.Lerp(s.To, dist/total)
+}
+
+// VelocityAt returns the node's velocity vector (m/s) at time t.
+func (tr *Track) VelocityAt(t sim.Time) geo.Point {
+	s := tr.segmentAt(t)
+	if s.Speed == 0 {
+		return geo.Point{}
+	}
+	total := s.From.Dist(s.To)
+	if total == 0 {
+		return geo.Point{}
+	}
+	travelled := s.Speed * t.Sub(s.Start).Seconds()
+	if travelled >= total {
+		return geo.Point{} // arrived, waiting for next segment
+	}
+	return s.To.Sub(s.From).Unit().Scale(s.Speed)
+}
+
+func (tr *Track) segmentAt(t sim.Time) Segment {
+	// Binary search for the last segment with Start <= t.
+	i := sort.Search(len(tr.segs), func(i int) bool { return tr.segs[i].Start > t })
+	if i == 0 {
+		return tr.segs[0]
+	}
+	return tr.segs[i-1]
+}
+
+// Segments exposes the underlying schedule (read-only by convention).
+func (tr *Track) Segments() []Segment { return tr.segs }
+
+// ChangeTimes returns every time at which the node's course changes
+// (segment boundaries), for listeners that resample positions adaptively.
+func (tr *Track) ChangeTimes() []sim.Time {
+	out := make([]sim.Time, len(tr.segs))
+	for i, s := range tr.segs {
+		out[i] = s.Start
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package mobility
+
+import (
+	"math"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/sim"
+)
+
+func cos(x float64) float64 { return math.Cos(x) }
+func sin(x float64) float64 { return math.Sin(x) }
+
+// Model generates movement tracks; RandomWaypoint, RandomWalk and StaticGrid
+// implement it.
+type Model interface {
+	Generate(n int, horizon sim.Duration, rng *sim.RNG) ([]*Track, error)
+}
+
+// StaticGrid places nodes on a jittered grid and keeps them still — a
+// deterministic, well-connected layout for baselines and tests.
+type StaticGrid struct {
+	Area   geo.Rect
+	Jitter float64 // max uniform displacement from grid point, metres
+}
+
+// Generate lays out n static tracks.
+func (m StaticGrid) Generate(n int, _ sim.Duration, rng *sim.RNG) ([]*Track, error) {
+	cols := int(math.Ceil(math.Sqrt(float64(n) * m.Area.W / math.Max(m.Area.H, 1))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	tracks := make([]*Track, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		x := (float64(c) + 0.5) * m.Area.W / float64(cols)
+		y := (float64(r) + 0.5) * m.Area.H / float64(rows)
+		if m.Jitter > 0 {
+			x += rng.Uniform(-m.Jitter, m.Jitter)
+			y += rng.Uniform(-m.Jitter, m.Jitter)
+		}
+		tracks = append(tracks, Static(m.Area.Clamp(geo.Pt(x, y))))
+	}
+	return tracks, nil
+}
+
+// Chain places nodes in a straight horizontal line with the given spacing —
+// the canonical multi-hop topology for unit tests (node i talks to i±1 only
+// when spacing < radio range < 2×spacing).
+func Chain(n int, spacing float64) []*Track {
+	tracks := make([]*Track, n)
+	for i := range tracks {
+		tracks[i] = Static(geo.Pt(float64(i)*spacing, 0))
+	}
+	return tracks
+}

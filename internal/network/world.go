@@ -1,0 +1,105 @@
+package network
+
+import (
+	"fmt"
+
+	"adhocsim/internal/mac"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+	"adhocsim/internal/topo"
+	"adhocsim/internal/trace"
+)
+
+// ProtocolFactory builds a routing agent for node id. Factories are invoked
+// once per node during World construction.
+type ProtocolFactory func(id pkt.NodeID) Protocol
+
+// Config assembles a World.
+type Config struct {
+	Tracks   []*mobility.Track
+	Radio    phy.RadioParams
+	Mac      mac.Config
+	Protocol ProtocolFactory
+	// Seed drives every stochastic element below the scenario layer
+	// (MAC backoff, protocol jitter).
+	Seed int64
+	// Oracle is optional; when set, originated packets are annotated
+	// with optimal hop counts for path-optimality accounting.
+	Oracle *topo.Oracle
+	// Tracer is optional; when set, every network-layer packet event is
+	// reported to it (ns-2-style tracing).
+	Tracer trace.Tracer
+}
+
+// World is one fully-wired simulation instance. It is single-threaded;
+// do not share across goroutines.
+type World struct {
+	Eng       *sim.Engine
+	Channel   *phy.Channel
+	Nodes     []*Node
+	Collector *stats.Collector
+	Oracle    *topo.Oracle
+	Tracer    trace.Tracer
+}
+
+// NewWorld wires radios, MACs and routing agents for every track.
+func NewWorld(cfg Config) (*World, error) {
+	if len(cfg.Tracks) == 0 {
+		return nil, fmt.Errorf("network: no tracks")
+	}
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("network: nil protocol factory")
+	}
+	w := &World{
+		Eng:       sim.NewEngine(),
+		Collector: stats.NewCollector(),
+		Oracle:    cfg.Oracle,
+		Tracer:    cfg.Tracer,
+	}
+	w.Channel = phy.NewChannel(w.Eng, cfg.Radio)
+	root := sim.NewRNG(cfg.Seed)
+	for i, tr := range cfg.Tracks {
+		id := pkt.NodeID(i)
+		n := &Node{id: id, world: w, Track: tr}
+		nodeRNG := root.Fork(int64(i))
+		n.rng = nodeRNG.ForkNamed("proto")
+		track := tr
+		n.Radio = w.Channel.AttachRadio(id, track.At, nil)
+		n.Mac = mac.New(w.Eng, id, n.Radio, n, nodeRNG.ForkNamed("mac"), cfg.Mac)
+		n.Radio.SetReceiver(n.Mac)
+		n.Proto = cfg.Protocol(id)
+		w.Nodes = append(w.Nodes, n)
+	}
+	return w, nil
+}
+
+// Start boots every routing agent (schedules beacons etc.).
+func (w *World) Start() {
+	for _, n := range w.Nodes {
+		n.Proto.Start(n)
+	}
+}
+
+// Run executes the simulation until the horizon and finalizes MAC counters
+// into the collector.
+func (w *World) Run(until sim.Time) error {
+	w.Collector.Begin(w.Eng.Now())
+	if err := w.Eng.Run(until); err != nil {
+		return err
+	}
+	w.Collector.Finish(w.Eng.Now())
+	var frames, bytes uint64
+	for _, n := range w.Nodes {
+		s := n.Mac.Stats
+		frames += s.RTSSent + s.CTSSent + s.AckSent
+		bytes += s.CtlBytes
+	}
+	w.Collector.OnMacControl(frames, bytes)
+	return nil
+}
+
+// Node returns the node with the given id.
+func (w *World) Node(id pkt.NodeID) *Node { return w.Nodes[id] }

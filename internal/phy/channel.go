@@ -1,0 +1,103 @@
+package phy
+
+import (
+	"fmt"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+)
+
+// Receiver is the upper layer (MAC) attached to a Radio.
+type Receiver interface {
+	// OnReceive delivers a successfully decoded transmission payload.
+	// rxPower is the received signal power in Watts (used by preemptive
+	// routing variants to detect weakening links).
+	OnReceive(payload any, from pkt.NodeID, rxPower float64)
+	// OnChannelBusy fires when the medium transitions idle→busy at this
+	// radio (physical carrier sense).
+	OnChannelBusy()
+	// OnChannelIdle fires when the medium transitions busy→idle.
+	OnChannelIdle()
+}
+
+// Channel is the shared wireless medium. It connects all radios of a run and
+// delivers each transmission to every radio whose received power exceeds the
+// carrier-sense threshold, after the speed-of-light propagation delay.
+type Channel struct {
+	eng    *sim.Engine
+	params RadioParams
+	radios []*Radio // indexed by NodeID
+
+	// Stats (aggregated across all radios).
+	Transmissions uint64
+	Deliveries    uint64
+	Collisions    uint64
+	Captures      uint64
+}
+
+// NewChannel creates an empty medium.
+func NewChannel(eng *sim.Engine, params RadioParams) *Channel {
+	if params.CaptureRatio <= 1 {
+		panic("phy: capture ratio must exceed 1")
+	}
+	return &Channel{eng: eng, params: params}
+}
+
+// Params returns the channel's physical-layer constants.
+func (c *Channel) Params() RadioParams { return c.params }
+
+// AttachRadio creates and registers the radio for node id. Radios must be
+// attached in id order starting from 0. pos reports the node's position at
+// any virtual time (typically a mobility track lookup).
+func (c *Channel) AttachRadio(id pkt.NodeID, pos func(sim.Time) geo.Point, rcv Receiver) *Radio {
+	if int(id) != len(c.radios) {
+		panic(fmt.Sprintf("phy: radios must be attached densely; got id %v with %d attached", id, len(c.radios)))
+	}
+	r := &Radio{id: id, ch: c, pos: pos, rcv: rcv}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// Radio returns the radio attached for id.
+func (c *Channel) Radio(id pkt.NodeID) *Radio { return c.radios[id] }
+
+// NumRadios returns the number of attached radios.
+func (c *Channel) NumRadios() int { return len(c.radios) }
+
+// transmit propagates a frame from r to every radio in carrier-sense range.
+func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
+	now := c.eng.Now()
+	c.Transmissions++
+	from := r.pos(now)
+	for _, o := range c.radios {
+		if o == r {
+			continue
+		}
+		d := o.pos(now).Dist(from)
+		power := c.params.Prop.RxPower(c.params.TxPower, d)
+		if power < c.params.CSThreshold {
+			continue
+		}
+		propDelay := sim.Seconds(d / SpeedOfLight)
+		if propDelay < sim.Nanosecond {
+			propDelay = sim.Nanosecond
+		}
+		o := o
+		c.eng.ScheduleIn(propDelay, func() {
+			o.beginArrival(arrival{
+				payload: payload,
+				from:    r.id,
+				power:   power,
+				end:     c.eng.Now().Add(dur),
+			})
+		})
+	}
+}
+
+// InRange reports whether b currently receives a's transmissions (power at
+// or above the reception threshold). Symmetric under the default models.
+func (c *Channel) InRange(a, b pkt.NodeID, at sim.Time) bool {
+	d := c.radios[a].pos(at).Dist(c.radios[b].pos(at))
+	return c.params.Prop.RxPower(c.params.TxPower, d) >= c.params.RxThreshold
+}

@@ -1,0 +1,322 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+)
+
+func TestTwoRayCrossoverContinuity(t *testing.T) {
+	p := DefaultParams()
+	prop := p.Prop.(TwoRayGround)
+	x := prop.Crossover()
+	below := prop.RxPower(p.TxPower, x*0.999)
+	above := prop.RxPower(p.TxPower, x*1.001)
+	if math.Abs(below-above)/below > 0.02 {
+		t.Fatalf("discontinuity at crossover: %g vs %g", below, above)
+	}
+}
+
+func TestPowerMonotoneDecreasing(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for d := 1.0; d < 2000; d += 7 {
+		pw := p.Prop.RxPower(p.TxPower, d)
+		if pw > prev {
+			t.Fatalf("power increased with distance at %.0f m", d)
+		}
+		prev = pw
+	}
+}
+
+func TestDefaultRanges(t *testing.T) {
+	p := DefaultParams()
+	if r := p.RxRange(); math.Abs(r-250) > 1 {
+		t.Fatalf("rx range = %.2f, want 250", r)
+	}
+	if r := p.CSRange(); math.Abs(r-550) > 1 {
+		t.Fatalf("cs range = %.2f, want 550", r)
+	}
+}
+
+func TestParamsForRange(t *testing.T) {
+	p := ParamsForRange(100, 220)
+	if r := p.RxRange(); math.Abs(r-100) > 1 {
+		t.Fatalf("rx range = %.2f, want 100", r)
+	}
+	if r := p.CSRange(); math.Abs(r-220) > 1 {
+		t.Fatalf("cs range = %.2f, want 220", r)
+	}
+}
+
+func TestFreeSpaceInverseSquare(t *testing.T) {
+	fs := FreeSpace{Gt: 1, Gr: 1, Lambda: 0.3, L: 1}
+	r1 := fs.RxPower(1, 100)
+	r2 := fs.RxPower(1, 200)
+	if math.Abs(r1/r2-4) > 1e-9 {
+		t.Fatalf("free space is not 1/d²: ratio %g", r1/r2)
+	}
+}
+
+func TestTwoRayInverseFourth(t *testing.T) {
+	tr := TwoRayGround{Gt: 1, Gr: 1, Ht: 1.5, Hr: 1.5, Lambda: 0.328, L: 1}
+	d := tr.Crossover() * 2
+	r1 := tr.RxPower(1, d)
+	r2 := tr.RxPower(1, 2*d)
+	if math.Abs(r1/r2-16) > 1e-9 {
+		t.Fatalf("two-ray is not 1/d⁴ beyond crossover: ratio %g", r1/r2)
+	}
+}
+
+// collector is a test Receiver recording deliveries and channel edges.
+type collector struct {
+	got   []string
+	from  []pkt.NodeID
+	busy  int
+	idle  int
+	power []float64
+}
+
+func (c *collector) OnReceive(payload any, from pkt.NodeID, rxPower float64) {
+	c.got = append(c.got, payload.(string))
+	c.from = append(c.from, from)
+	c.power = append(c.power, rxPower)
+}
+func (c *collector) OnChannelBusy() { c.busy++ }
+func (c *collector) OnChannelIdle() { c.idle++ }
+
+// buildChain wires n static radios spaced apart on a line.
+func buildChain(eng *sim.Engine, n int, spacing float64) (*Channel, []*collector) {
+	ch := NewChannel(eng, DefaultParams())
+	tracks := mobility.Chain(n, spacing)
+	cols := make([]*collector, n)
+	for i := 0; i < n; i++ {
+		cols[i] = &collector{}
+		tr := tracks[i]
+		ch.AttachRadio(pkt.NodeID(i), func(t sim.Time) geo.Point { return tr.At(t) }, cols[i])
+	}
+	return ch, cols
+}
+
+func TestDeliveryWithinRange(t *testing.T) {
+	eng := sim.NewEngine()
+	ch, cols := buildChain(eng, 3, 200) // 0-1: 200m (in range), 0-2: 400m (out of rx range, in CS)
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("hello", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[1].got) != 1 || cols[1].got[0] != "hello" {
+		t.Fatalf("node 1 got %v", cols[1].got)
+	}
+	if cols[1].from[0] != 0 {
+		t.Fatal("wrong sender")
+	}
+	if len(cols[2].got) != 0 {
+		t.Fatal("node 2 beyond rx range received frame")
+	}
+	// Node 2 is within carrier-sense range: it must have seen busy/idle.
+	if cols[2].busy != 1 || cols[2].idle != 1 {
+		t.Fatalf("node 2 busy/idle = %d/%d, want 1/1", cols[2].busy, cols[2].idle)
+	}
+	if ch.Deliveries != 1 {
+		t.Fatalf("channel deliveries = %d", ch.Deliveries)
+	}
+}
+
+func TestBeyondCSRangeSilence(t *testing.T) {
+	eng := sim.NewEngine()
+	ch, cols := buildChain(eng, 2, 600)
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("x", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[1].got) != 0 || cols[1].busy != 0 {
+		t.Fatal("node beyond CS range observed the transmission")
+	}
+}
+
+func TestCollisionComparablePowers(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, DefaultParams())
+	// Receiver in the middle of two equidistant senders: equal power,
+	// overlapping in time → collision, nothing delivered.
+	positions := []geo.Point{geo.Pt(0, 0), geo.Pt(200, 0), geo.Pt(400, 0)}
+	cols := make([]*collector, 3)
+	for i := range positions {
+		cols[i] = &collector{}
+		p := positions[i]
+		ch.AttachRadio(pkt.NodeID(i), func(sim.Time) geo.Point { return p }, cols[i])
+	}
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("a", sim.Millis(1)) })
+	eng.ScheduleIn(sim.Micros(100), func() { ch.Radio(2).Transmit("b", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[1].got) != 0 {
+		t.Fatalf("middle node decoded %v despite collision", cols[1].got)
+	}
+	if ch.Collisions == 0 {
+		t.Fatal("collision not counted")
+	}
+}
+
+func TestCaptureStrongerFirst(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, DefaultParams())
+	// Receiver at origin; strong sender 50 m away, weak sender 240 m away.
+	// Power ratio (240/50)⁴ ≫ 10, so the strong frame must survive.
+	positions := []geo.Point{geo.Pt(0, 0), geo.Pt(50, 0), geo.Pt(240, 0)}
+	cols := make([]*collector, 3)
+	for i := range positions {
+		cols[i] = &collector{}
+		p := positions[i]
+		ch.AttachRadio(pkt.NodeID(i), func(sim.Time) geo.Point { return p }, cols[i])
+	}
+	eng.ScheduleIn(0, func() { ch.Radio(1).Transmit("strong", sim.Millis(1)) })
+	eng.ScheduleIn(sim.Micros(50), func() { ch.Radio(2).Transmit("weak", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[0].got) != 1 || cols[0].got[0] != "strong" {
+		t.Fatalf("receiver got %v, want capture of strong frame", cols[0].got)
+	}
+	if ch.Captures == 0 {
+		t.Fatal("capture not counted")
+	}
+}
+
+func TestCaptureStrongerSecond(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, DefaultParams())
+	positions := []geo.Point{geo.Pt(0, 0), geo.Pt(50, 0), geo.Pt(240, 0)}
+	cols := make([]*collector, 3)
+	for i := range positions {
+		cols[i] = &collector{}
+		p := positions[i]
+		ch.AttachRadio(pkt.NodeID(i), func(sim.Time) geo.Point { return p }, cols[i])
+	}
+	// Weak frame first, strong frame second: the strong one captures.
+	eng.ScheduleIn(0, func() { ch.Radio(2).Transmit("weak", sim.Millis(1)) })
+	eng.ScheduleIn(sim.Micros(50), func() { ch.Radio(1).Transmit("strong", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[0].got) != 1 || cols[0].got[0] != "strong" {
+		t.Fatalf("receiver got %v, want strong frame via capture", cols[0].got)
+	}
+}
+
+func TestHalfDuplexTxKillsRx(t *testing.T) {
+	eng := sim.NewEngine()
+	ch, cols := buildChain(eng, 2, 100)
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("incoming", sim.Millis(1)) })
+	// Node 1 starts its own transmission mid-reception.
+	eng.ScheduleIn(sim.Micros(200), func() { ch.Radio(1).Transmit("own", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[1].got) != 0 {
+		t.Fatal("node decoded a frame while transmitting over it")
+	}
+	// Node 0 cannot decode node 1's frame either: it arrives at ~200 µs
+	// while node 0 is still transmitting its own 1 ms frame.
+	if len(cols[0].got) != 0 {
+		t.Fatal("transmitter decoded a frame that arrived mid-transmission")
+	}
+}
+
+func TestSequentialFramesBothDelivered(t *testing.T) {
+	eng := sim.NewEngine()
+	ch, cols := buildChain(eng, 2, 100)
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("one", sim.Millis(1)) })
+	eng.ScheduleIn(sim.Millis(2), func() { ch.Radio(0).Transmit("two", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[1].got) != 2 || cols[1].got[0] != "one" || cols[1].got[1] != "two" {
+		t.Fatalf("got %v", cols[1].got)
+	}
+	if cols[1].busy != 2 || cols[1].idle != 2 {
+		t.Fatalf("busy/idle = %d/%d, want 2/2", cols[1].busy, cols[1].idle)
+	}
+}
+
+func TestBusyIdleEdgesWithOverlap(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, DefaultParams())
+	positions := []geo.Point{geo.Pt(0, 0), geo.Pt(200, 0), geo.Pt(400, 0)}
+	cols := make([]*collector, 3)
+	for i := range positions {
+		cols[i] = &collector{}
+		p := positions[i]
+		ch.AttachRadio(pkt.NodeID(i), func(sim.Time) geo.Point { return p }, cols[i])
+	}
+	// Two overlapping transmissions as heard by the middle node: busy must
+	// be signalled once and idle once, at the end of the later frame.
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("a", sim.Millis(2)) })
+	eng.ScheduleIn(sim.Millis(1), func() { ch.Radio(2).Transmit("b", sim.Millis(4)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if cols[1].busy != 1 || cols[1].idle != 1 {
+		t.Fatalf("middle busy/idle = %d/%d, want 1/1", cols[1].busy, cols[1].idle)
+	}
+}
+
+func TestRxPowerReported(t *testing.T) {
+	eng := sim.NewEngine()
+	ch, cols := buildChain(eng, 2, 150)
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("x", sim.Millis(1)) })
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultParams().Prop.RxPower(DefaultParams().TxPower, 150)
+	if len(cols[1].power) != 1 || math.Abs(cols[1].power[0]-want)/want > 1e-9 {
+		t.Fatalf("reported power %v, want %g", cols[1].power, want)
+	}
+}
+
+func TestMovingNodeLeavesRange(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, DefaultParams())
+	c0, c1 := &collector{}, &collector{}
+	ch.AttachRadio(0, func(sim.Time) geo.Point { return geo.Pt(0, 0) }, c0)
+	// Node 1 moves away at 100 m/s from 200 m to 800 m over 6 s.
+	track := mobility.MustTrack([]mobility.Segment{{Start: 0, From: geo.Pt(200, 0), To: geo.Pt(800, 0), Speed: 100}})
+	ch.AttachRadio(1, func(t sim.Time) geo.Point { return track.At(t) }, c1)
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("near", sim.Millis(1)) })
+	eng.Schedule(sim.At(5.8), func() { ch.Radio(0).Transmit("far", sim.Millis(1)) }) // node 1 at ~780 m
+	if err := eng.Run(sim.At(10)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.got) != 1 || c1.got[0] != "near" {
+		t.Fatalf("moving node got %v, want only the near frame", c1.got)
+	}
+	if !ch.InRange(0, 1, 0) {
+		t.Fatal("InRange false at t=0")
+	}
+	if ch.InRange(0, 1, sim.At(5.8)) {
+		t.Fatal("InRange true at 780 m")
+	}
+}
+
+func TestTransmitWhileTransmittingPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	ch, _ := buildChain(eng, 2, 100)
+	eng.ScheduleIn(0, func() {
+		ch.Radio(0).Transmit("a", sim.Millis(1))
+		defer func() {
+			if recover() == nil {
+				t.Error("second Transmit did not panic")
+			}
+		}()
+		ch.Radio(0).Transmit("b", sim.Millis(1))
+	})
+	if err := eng.Run(sim.At(1)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package phy models the shared wireless medium: signal propagation,
+// carrier sense, frame reception, capture and collisions. It reproduces the
+// CMU Monarch ns-2 physical layer: two-ray ground reflection propagation, a
+// 250 m reception range and a 550 m carrier-sense/interference range at the
+// standard WaveLAN-style parameters.
+package phy
+
+import "math"
+
+// SpeedOfLight in metres per second, for propagation delay.
+const SpeedOfLight = 299792458.0
+
+// Propagation computes received signal power as a function of distance.
+type Propagation interface {
+	// RxPower returns the received power in Watts at distance d metres
+	// for a transmit power of txPower Watts.
+	RxPower(txPower, d float64) float64
+}
+
+// FreeSpace is the Friis free-space model: Pr = Pt·Gt·Gr·λ² / ((4π)²·d²·L).
+type FreeSpace struct {
+	Gt, Gr float64 // antenna gains (dimensionless)
+	Lambda float64 // wavelength, metres
+	L      float64 // system loss ≥ 1
+}
+
+// RxPower implements Propagation.
+func (m FreeSpace) RxPower(txPower, d float64) float64 {
+	if d <= 0 {
+		return txPower
+	}
+	den := 16 * math.Pi * math.Pi * d * d * m.L
+	return txPower * m.Gt * m.Gr * m.Lambda * m.Lambda / den
+}
+
+// TwoRayGround is the two-ray ground-reflection model used by the CMU
+// extensions: free space up to the crossover distance, then
+// Pr = Pt·Gt·Gr·ht²·hr² / d⁴.
+type TwoRayGround struct {
+	Gt, Gr float64 // antenna gains
+	Ht, Hr float64 // antenna heights, metres
+	Lambda float64 // wavelength, metres
+	L      float64 // system loss ≥ 1
+}
+
+// Crossover returns the distance at which the two-ray term takes over:
+// 4π·ht·hr/λ.
+func (m TwoRayGround) Crossover() float64 {
+	return 4 * math.Pi * m.Ht * m.Hr / m.Lambda
+}
+
+// RxPower implements Propagation.
+func (m TwoRayGround) RxPower(txPower, d float64) float64 {
+	if d <= 0 {
+		return txPower
+	}
+	if d < m.Crossover() {
+		fs := FreeSpace{Gt: m.Gt, Gr: m.Gr, Lambda: m.Lambda, L: m.L}
+		return fs.RxPower(txPower, d)
+	}
+	return txPower * m.Gt * m.Gr * m.Ht * m.Ht * m.Hr * m.Hr / (d * d * d * d * m.L)
+}
+
+// RadioParams bundles the physical-layer constants of a scenario.
+type RadioParams struct {
+	TxPower      float64     // Watts
+	RxThreshold  float64     // min power for successful reception, Watts
+	CSThreshold  float64     // min power to raise carrier sense, Watts
+	CaptureRatio float64     // power ratio for capture (ns-2 uses 10 = 10 dB)
+	Prop         Propagation // propagation model
+}
+
+// DefaultParams returns the CMU/ns-2 914 MHz WaveLAN parameterisation:
+// two-ray ground, 0.28183815 W transmit power, thresholds tuned for a 250 m
+// reception range and 550 m carrier-sense range, 10 dB capture.
+func DefaultParams() RadioParams {
+	lambda := SpeedOfLight / 914e6
+	prop := TwoRayGround{Gt: 1, Gr: 1, Ht: 1.5, Hr: 1.5, Lambda: lambda, L: 1}
+	const txPower = 0.28183815
+	return RadioParams{
+		TxPower: txPower,
+		// Derive thresholds from the model itself so that the ranges
+		// are exactly 250 m / 550 m regardless of float rounding.
+		RxThreshold:  prop.RxPower(txPower, 250),
+		CSThreshold:  prop.RxPower(txPower, 550),
+		CaptureRatio: 10,
+		Prop:         prop,
+	}
+}
+
+// ParamsForRange returns parameters with the reception range set to rx
+// metres and the carrier-sense range to cs metres (cs ≥ rx), keeping the
+// default two-ray model. Used by scenarios that sweep transmission range.
+func ParamsForRange(rx, cs float64) RadioParams {
+	p := DefaultParams()
+	prop := p.Prop.(TwoRayGround)
+	p.RxThreshold = prop.RxPower(p.TxPower, rx)
+	p.CSThreshold = prop.RxPower(p.TxPower, cs)
+	return p
+}
+
+// RxRange computes the reception range implied by the parameters (the
+// distance at which received power falls to RxThreshold), by bisection.
+func (p RadioParams) RxRange() float64 { return p.rangeFor(p.RxThreshold) }
+
+// CSRange computes the carrier-sense range implied by the parameters.
+func (p RadioParams) CSRange() float64 { return p.rangeFor(p.CSThreshold) }
+
+func (p RadioParams) rangeFor(thresh float64) float64 {
+	lo, hi := 0.0, 1e5
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if p.Prop.RxPower(p.TxPower, mid) >= thresh {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,199 @@
+package phy
+
+import (
+	"adhocsim/internal/geo"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+)
+
+// arrival is one transmission as seen by one receiver.
+type arrival struct {
+	payload   any
+	from      pkt.NodeID
+	power     float64
+	end       sim.Time
+	corrupted bool
+}
+
+// Radio is one node's transceiver. It is half-duplex: transmitting corrupts
+// any in-progress reception, and frames arriving while transmitting are
+// lost. Reception follows the ns-2 capture model: among overlapping
+// arrivals, a frame is decoded only if it is at least CaptureRatio times
+// stronger than every competing arrival; otherwise all overlapping frames
+// are corrupted (a collision).
+type Radio struct {
+	id  pkt.NodeID
+	ch  *Channel
+	pos func(sim.Time) geo.Point
+	rcv Receiver
+
+	txUntil   sim.Time
+	busyUntil sim.Time // medium observed busy (any arrival ≥ CS threshold, or own tx)
+	rx        *arrival // reception in progress, if any
+
+	watchdogArmed bool
+	notifiedBusy  bool
+
+	// Stats.
+	Collisions uint64 // receptions lost to overlapping arrivals
+	Captured   uint64 // receptions that survived via capture
+	TxFrames   uint64
+	RxFrames   uint64
+}
+
+// ID returns the radio's node id.
+func (r *Radio) ID() pkt.NodeID { return r.id }
+
+// SetReceiver installs the upper layer. AttachRadio permits a nil receiver
+// so that a MAC — which needs the radio to construct itself — can be wired
+// in afterwards; no frames may arrive before the receiver is set.
+func (r *Radio) SetReceiver(rcv Receiver) { r.rcv = rcv }
+
+// Position returns the node position at time t.
+func (r *Radio) Position(t sim.Time) geo.Point { return r.pos(t) }
+
+// Busy reports physical carrier sense: the medium is busy at this radio.
+func (r *Radio) Busy() bool {
+	now := r.ch.eng.Now()
+	return now < r.txUntil || now < r.busyUntil
+}
+
+// BusyUntil returns the earliest time the medium could become idle given
+// current knowledge (later arrivals may extend it).
+func (r *Radio) BusyUntil() sim.Time {
+	if r.txUntil > r.busyUntil {
+		return r.txUntil
+	}
+	return r.busyUntil
+}
+
+// Transmitting reports whether the radio is mid-transmission.
+func (r *Radio) Transmitting() bool { return r.ch.eng.Now() < r.txUntil }
+
+// Transmit puts a frame on the air for dur. The MAC must not call this while
+// a previous transmission is still in progress.
+func (r *Radio) Transmit(payload any, dur sim.Duration) {
+	now := r.ch.eng.Now()
+	if now < r.txUntil {
+		panic("phy: Transmit while already transmitting")
+	}
+	// Half-duplex: transmitting destroys any reception in progress.
+	if r.rx != nil && r.rx.end > now {
+		r.rx.corrupted = true
+	}
+	r.TxFrames++
+	r.txUntil = now.Add(dur)
+	r.extendBusy(r.txUntil)
+	r.ch.transmit(r, payload, dur)
+}
+
+// beginArrival registers a frame starting to arrive at this radio.
+func (r *Radio) beginArrival(a arrival) {
+	now := r.ch.eng.Now()
+	r.extendBusy(a.end)
+
+	if now < r.txUntil {
+		// Receiving while transmitting is impossible; the energy still
+		// occupied the medium (busy already extended).
+		return
+	}
+
+	switch {
+	case r.rx != nil && !r.rx.corrupted && r.rx.end > now:
+		cur := r.rx
+		ratio := r.ch.params.CaptureRatio
+		switch {
+		case cur.power >= ratio*a.power:
+			// Current reception captures over the newcomer; the
+			// newcomer is absorbed as noise.
+			r.Captured++
+			r.ch.Captures++
+		case a.power >= ratio*cur.power && a.power >= r.ch.params.RxThreshold:
+			// Newcomer captures: the old reception dies, the new
+			// one proceeds.
+			cur.corrupted = true
+			r.Captured++
+			r.ch.Captures++
+			r.startReception(a)
+		default:
+			// Comparable powers: both corrupted.
+			cur.corrupted = true
+			r.Collisions++
+			r.ch.Collisions++
+		}
+	default:
+		if a.power >= r.ch.params.RxThreshold {
+			r.startReception(a)
+		}
+		// Otherwise sub-reception-threshold energy: carrier sense only.
+	}
+}
+
+func (r *Radio) startReception(a arrival) {
+	ac := a
+	r.rx = &ac
+	r.ch.eng.Schedule(a.end, func() { r.finishReception(&ac) })
+}
+
+func (r *Radio) finishReception(a *arrival) {
+	if r.rx == a {
+		r.rx = nil
+	}
+	if a.corrupted {
+		return
+	}
+	// A transmission that started mid-reception corrupts it (also handled
+	// in Transmit, but guard against exact-tie orderings).
+	if r.ch.eng.Now() < r.txUntil {
+		return
+	}
+	r.RxFrames++
+	r.ch.Deliveries++
+	if r.rcv != nil {
+		r.rcv.OnReceive(a.payload, a.from, a.power)
+	}
+}
+
+// extendBusy pushes out the busy horizon and manages idle/busy edge
+// notifications to the MAC.
+func (r *Radio) extendBusy(until sim.Time) {
+	now := r.ch.eng.Now()
+	if until > r.busyUntil {
+		r.busyUntil = until
+	}
+	if !r.notifiedBusy && r.BusyUntil() > now {
+		r.notifiedBusy = true
+		if r.rcv != nil {
+			r.rcv.OnChannelBusy()
+		}
+	}
+	r.armWatchdog()
+}
+
+func (r *Radio) armWatchdog() {
+	if r.watchdogArmed {
+		return
+	}
+	until := r.BusyUntil()
+	now := r.ch.eng.Now()
+	if until <= now {
+		return
+	}
+	r.watchdogArmed = true
+	r.ch.eng.Schedule(until, r.watchdogFire)
+}
+
+func (r *Radio) watchdogFire() {
+	r.watchdogArmed = false
+	now := r.ch.eng.Now()
+	if r.BusyUntil() > now {
+		r.armWatchdog()
+		return
+	}
+	if r.notifiedBusy {
+		r.notifiedBusy = false
+		if r.rcv != nil {
+			r.rcv.OnChannelIdle()
+		}
+	}
+}

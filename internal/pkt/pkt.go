@@ -1,0 +1,170 @@
+// Package pkt defines the network-layer packet model shared by the traffic
+// generators, routing protocols and forwarding plane. Header sizes are
+// byte-accurate so that routing-overhead metrics can be reported in both
+// packets and bytes, as in Broch et al. 1998.
+package pkt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"adhocsim/internal/sim"
+)
+
+// NodeID identifies a node (its "IP address"). IDs are dense small integers.
+type NodeID int32
+
+// Broadcast is the link/network broadcast address.
+const Broadcast NodeID = -1
+
+// String renders a node id, with the broadcast address spelled out.
+func (id NodeID) String() string {
+	if id == Broadcast {
+		return "bcast"
+	}
+	return fmt.Sprintf("n%d", int32(id))
+}
+
+// Kind classifies packets for metric accounting.
+type Kind uint8
+
+const (
+	// KindData is application (CBR) traffic.
+	KindData Kind = iota
+	// KindRouting is routing-protocol control traffic.
+	KindRouting
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindRouting:
+		return "routing"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Header sizes in bytes, following ns-2/CMU conventions.
+const (
+	IPHeaderBytes  = 20
+	UDPHeaderBytes = 8
+	// SrcRouteAddrBytes is the per-hop cost of carrying a source route in
+	// a packet header (DSR, CBRP): 4 bytes per address.
+	SrcRouteAddrBytes = 4
+	// DefaultTTL matches the IP default used by the CMU extensions.
+	DefaultTTL = 32
+)
+
+// Packet is a network-layer packet. Packets are passed by pointer along a
+// single node's stack but must be Cloned when handed to another node or
+// duplicated by a flood, because forwarding mutates TTL/hop state.
+type Packet struct {
+	UID  uint64 // globally unique per transmission lineage (see Clone)
+	Kind Kind
+	// Msg labels routing messages ("RREQ", "RREP", …) for per-type
+	// overhead breakdowns; empty for data packets.
+	Msg string
+
+	Src NodeID // originator (network layer)
+	Dst NodeID // final destination, or Broadcast
+	TTL int
+	// Hops counts network-layer forwards so far (for path optimality).
+	Hops int
+
+	// Size is the total packet size in bytes including IP header and any
+	// protocol-specific header, but excluding MAC framing (the MAC adds
+	// its own framing when computing airtime).
+	Size int
+
+	// CreatedAt is the origination timestamp (end-to-end delay baseline:
+	// when the application handed the packet to the network layer).
+	CreatedAt sim.Time
+
+	// Seq is the application sequence number (per source), used by sinks
+	// to detect duplicates.
+	Seq uint32
+
+	// OptimalHops is the BFS shortest hop distance from Src to Dst at
+	// origination time, filled by the traffic layer for path-optimality
+	// accounting. Zero when unknown/unreachable.
+	OptimalHops int
+
+	// Salvaged counts DSR-style salvage operations applied to the packet.
+	Salvaged int
+
+	// SrcRoute is the full source route (including Src and Dst) for
+	// source-routed protocols; SRIndex is the position of the node that
+	// currently holds the packet. Nil for table-driven protocols.
+	SrcRoute []NodeID
+	SRIndex  int
+
+	// Payload carries a protocol-specific routing header. Routing
+	// payloads must be treated as immutable once attached; Clone copies
+	// the reference only.
+	Payload any
+}
+
+var nextUID atomic.Uint64
+
+// NewUID issues a fresh packet UID. The counter is process-global and
+// atomic: independent simulation runs execute in parallel goroutines, and
+// UIDs only need to be unique, not dense — runs never compare UIDs across
+// engines, so the shared counter does not harm reproducibility.
+func NewUID() uint64 {
+	return nextUID.Add(1)
+}
+
+// Clone returns a copy of p with a fresh UID and a deep-copied source route.
+// The payload reference is shared (payloads are immutable by convention).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.UID = NewUID()
+	if p.SrcRoute != nil {
+		q.SrcRoute = append([]NodeID(nil), p.SrcRoute...)
+	}
+	return &q
+}
+
+// Expired reports whether the TTL has been exhausted.
+func (p *Packet) Expired() bool { return p.TTL <= 0 }
+
+// String renders a compact description for traces and test failures.
+func (p *Packet) String() string {
+	label := p.Msg
+	if label == "" {
+		label = p.Kind.String()
+	}
+	return fmt.Sprintf("%s %v->%v uid=%d ttl=%d hops=%d size=%dB", label, p.Src, p.Dst, p.UID, p.TTL, p.Hops, p.Size)
+}
+
+// DataPacket builds an application data packet of payloadBytes carried over
+// UDP/IP.
+func DataPacket(src, dst NodeID, seq uint32, payloadBytes int, at sim.Time) *Packet {
+	return &Packet{
+		UID:       NewUID(),
+		Kind:      KindData,
+		Src:       src,
+		Dst:       dst,
+		TTL:       DefaultTTL,
+		Size:      payloadBytes + UDPHeaderBytes + IPHeaderBytes,
+		CreatedAt: at,
+		Seq:       seq,
+	}
+}
+
+// RoutingPacket builds a routing control packet. bodyBytes is the size of
+// the protocol message body; the IP header is added here.
+func RoutingPacket(msg string, src, dst NodeID, ttl, bodyBytes int, at sim.Time) *Packet {
+	return &Packet{
+		UID:       NewUID(),
+		Kind:      KindRouting,
+		Msg:       msg,
+		Src:       src,
+		Dst:       dst,
+		TTL:       ttl,
+		Size:      bodyBytes + IPHeaderBytes,
+		CreatedAt: at,
+	}
+}

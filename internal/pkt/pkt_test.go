@@ -1,0 +1,100 @@
+package pkt
+
+import (
+	"testing"
+
+	"adhocsim/internal/sim"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if Broadcast.String() != "bcast" {
+		t.Fatal("broadcast string")
+	}
+	if NodeID(7).String() != "n7" {
+		t.Fatal("node string")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindRouting.String() != "routing" {
+		t.Fatal("kind strings")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestDataPacketSizes(t *testing.T) {
+	p := DataPacket(1, 2, 42, 64, sim.At(3))
+	if p.Size != 64+8+20 {
+		t.Fatalf("data packet size = %d, want 92", p.Size)
+	}
+	if p.Kind != KindData || p.Src != 1 || p.Dst != 2 || p.Seq != 42 {
+		t.Fatal("data packet fields")
+	}
+	if p.TTL != DefaultTTL {
+		t.Fatal("TTL default")
+	}
+	if p.CreatedAt != sim.At(3) {
+		t.Fatal("CreatedAt")
+	}
+}
+
+func TestRoutingPacket(t *testing.T) {
+	p := RoutingPacket("RREQ", 1, Broadcast, 5, 24, sim.At(1))
+	if p.Size != 44 {
+		t.Fatalf("routing packet size = %d, want 44", p.Size)
+	}
+	if p.Kind != KindRouting || p.Msg != "RREQ" || p.TTL != 5 {
+		t.Fatal("routing packet fields")
+	}
+}
+
+func TestUIDsUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		u := NewUID()
+		if seen[u] {
+			t.Fatal("duplicate UID")
+		}
+		seen[u] = true
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := DataPacket(1, 2, 0, 64, 0)
+	p.SrcRoute = []NodeID{1, 3, 2}
+	q := p.Clone()
+	if q.UID == p.UID {
+		t.Fatal("clone kept UID")
+	}
+	q.SrcRoute[1] = 9
+	q.TTL--
+	q.Hops++
+	if p.SrcRoute[1] != 3 || p.TTL != DefaultTTL || p.Hops != 0 {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	p := DataPacket(1, 2, 0, 10, 0)
+	p.TTL = 1
+	if p.Expired() {
+		t.Fatal("TTL 1 should not be expired")
+	}
+	p.TTL = 0
+	if !p.Expired() {
+		t.Fatal("TTL 0 should be expired")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	p := DataPacket(1, 2, 0, 10, 0)
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+	r := RoutingPacket("RERR", 3, Broadcast, 1, 12, 0)
+	if r.String() == "" || r.String() == p.String() {
+		t.Fatal("routing String")
+	}
+}

@@ -1,0 +1,640 @@
+// Package cbrp implements the Cluster Based Routing Protocol (Jiang, Li &
+// Tay), the third protocol of the IPPS'01 comparison. Nodes organise into
+// 2-hop-diameter clusters via periodic HELLO beacons and lowest-ID election.
+// Route requests are re-flooded only by cluster heads and gateway nodes,
+// cutting flood cost relative to blind flooding; discovered routes are
+// carried in packet headers like DSR. Two CBRP optimizations are included:
+// local repair from 2-hop neighbour knowledge and en-route path shortening.
+package cbrp
+
+import (
+	"adhocsim/internal/network"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/routing"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+)
+
+// Config tunes CBRP.
+type Config struct {
+	// HelloInterval is the beacon period (default 2 s).
+	HelloInterval sim.Duration
+	// NeighborExpiry drops unheard neighbours (default 3 × hello).
+	NeighborExpiry sim.Duration
+	// DisableClusterFlooding makes every node re-flood RREQs (ablation:
+	// quantifies the saving from head/gateway-restricted flooding).
+	DisableClusterFlooding bool
+	// DisableLocalRepair turns off 2-hop route repair.
+	DisableLocalRepair bool
+	// DisableShortening turns off en-route path shortening.
+	DisableShortening bool
+	// DiscoveryBase / DiscoveryMax bound discovery retry backoff
+	// (defaults 500 ms / 10 s).
+	DiscoveryBase sim.Duration
+	DiscoveryMax  sim.Duration
+	// RouteCacheTTL bounds how long a source reuses a discovered route
+	// before it must be re-validated by a fresh discovery (default 10 s;
+	// link failures invalidate earlier).
+	RouteCacheTTL sim.Duration
+	// SendBufferCap / SendBufferTimeout bound the origin-side buffer.
+	SendBufferCap     int
+	SendBufferTimeout sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = 2 * sim.Second
+	}
+	if c.NeighborExpiry <= 0 {
+		c.NeighborExpiry = 3 * c.HelloInterval
+	}
+	if c.DiscoveryBase <= 0 {
+		c.DiscoveryBase = 500 * sim.Millisecond
+	}
+	if c.DiscoveryMax <= 0 {
+		c.DiscoveryMax = 10 * sim.Second
+	}
+	if c.RouteCacheTTL <= 0 {
+		c.RouteCacheTTL = 10 * sim.Second
+	}
+	return c
+}
+
+// Factory returns a protocol factory.
+func Factory(cfg Config) network.ProtocolFactory {
+	return func(pkt.NodeID) network.Protocol { return New(cfg) }
+}
+
+// Message payloads.
+
+// hello is the periodic beacon.
+type hello struct {
+	Status    NodeStatus
+	Heads     []pkt.NodeID
+	Neighbors []pkt.NodeID
+}
+
+// rreq floods (via heads/gateways) toward a target, recording the path.
+type rreq struct {
+	Origin pkt.NodeID
+	Target pkt.NodeID
+	ID     uint32
+	Record []pkt.NodeID
+}
+
+// rrep returns the complete route to the origin.
+type rrep struct {
+	Route []pkt.NodeID
+}
+
+// rerr reports broken link A→B toward the source.
+type rerr struct {
+	A, B pkt.NodeID
+}
+
+// Wire sizes (4-byte addresses; hello carries status+heads+neighbour list).
+const (
+	helloBase     = 4
+	rreqBaseBytes = 8
+	rrepBaseBytes = 8
+	rerrBytes     = 12
+	srBaseBytes   = 4
+)
+
+type pending struct {
+	attempts int
+	timer    *sim.Timer
+}
+
+// CBRP is one node's agent.
+type CBRP struct {
+	cfg Config
+	env network.Env
+
+	status    NodeStatus
+	neighbors *neighborTable
+	myHeads   map[pkt.NodeID]bool
+
+	seen  *routing.SeenCache
+	buf   *routing.SendBuffer
+	disc  map[pkt.NodeID]*pending
+	reqID uint32
+	// nextRREQ rate-limits discovery floods per target: a freshly
+	// repaired route that immediately fails again must not re-flood the
+	// network at MAC speed.
+	nextRREQ map[pkt.NodeID]sim.Time
+	// routes caches discovered source routes at the origin so that a
+	// 4 pkt/s CBR flow does not re-flood per packet.
+	routes map[pkt.NodeID]cachedRoute
+
+	helloTicker *sim.Ticker
+}
+
+// New creates a CBRP agent.
+func New(cfg Config) *CBRP {
+	return &CBRP{
+		cfg:       cfg.withDefaults(),
+		status:    Undecided,
+		neighbors: newNeighborTable(),
+		myHeads:   make(map[pkt.NodeID]bool),
+		seen:      routing.NewSeenCache(30 * sim.Second),
+		disc:      make(map[pkt.NodeID]*pending),
+		nextRREQ:  make(map[pkt.NodeID]sim.Time),
+		routes:    make(map[pkt.NodeID]cachedRoute),
+	}
+}
+
+// Start implements network.Protocol.
+func (c *CBRP) Start(env network.Env) {
+	c.env = env
+	c.buf = routing.NewSendBuffer(c.cfg.SendBufferCap, c.cfg.SendBufferTimeout, func(p *pkt.Packet, timeout bool) {
+		if timeout {
+			c.env.Drop(p, stats.DropSendBuffer)
+		} else {
+			c.env.Drop(p, stats.DropSendBufFull)
+		}
+	})
+	c.helloTicker = sim.NewTicker(env.Engine(), c.cfg.HelloInterval, c.beacon)
+	c.helloTicker.Jitter = func() sim.Duration {
+		return c.cfg.HelloInterval - c.cfg.HelloInterval/10 + c.env.RNG().Jitter(c.cfg.HelloInterval/5)
+	}
+	c.helloTicker.StartIn(c.env.RNG().Jitter(c.cfg.HelloInterval / 2))
+}
+
+// Status exposes the clustering role (tests/diagnostics).
+func (c *CBRP) Status() NodeStatus { return c.status }
+
+// Heads exposes the current cluster heads of this node (tests/diagnostics).
+func (c *CBRP) Heads() []pkt.NodeID {
+	out := make([]pkt.NodeID, 0, len(c.myHeads))
+	for h := range c.myHeads {
+		out = append(out, h)
+	}
+	return out
+}
+
+// --- beaconing & clustering -----------------------------------------------
+
+func (c *CBRP) beacon() {
+	now := c.env.Now()
+	c.neighbors.expire(now)
+	c.refreshRole()
+	h := &hello{
+		Status:    c.status,
+		Heads:     c.headSet(),
+		Neighbors: c.neighbors.ids(),
+	}
+	body := helloBase + 4*len(h.Heads) + 5*len(h.Neighbors)
+	p := pkt.RoutingPacket("HELLO", c.env.ID(), pkt.Broadcast, 1, body, now)
+	p.Payload = h
+	c.env.SendMac(p, pkt.Broadcast)
+}
+
+func (c *CBRP) refreshRole() {
+	me := c.env.ID()
+	heads := c.neighbors.headNeighbors()
+	switch {
+	case c.status == Head:
+		// A head abdicates only when another head with a lower ID is in
+		// range (CBRP contention resolution).
+		for _, h := range heads {
+			if h < me {
+				c.status = Member
+				break
+			}
+		}
+	default:
+		c.status = electStatus(me, c.neighbors)
+	}
+	// Recompute cluster membership.
+	for k := range c.myHeads {
+		delete(c.myHeads, k)
+	}
+	if c.status == Head {
+		c.myHeads[me] = true
+		return
+	}
+	for _, h := range heads {
+		c.myHeads[h] = true
+	}
+}
+
+// isGateway reports whether this node bridges clusters: it hears multiple
+// heads, or hears a member of a foreign cluster.
+func (c *CBRP) isGateway() bool {
+	if c.status == Head {
+		return false
+	}
+	if len(c.neighbors.headNeighbors()) >= 2 {
+		return true
+	}
+	return len(c.neighbors.foreignHeads(c.myHeads)) > 0
+}
+
+// shouldReflood decides whether this node participates in RREQ flooding.
+func (c *CBRP) shouldReflood() bool {
+	if c.cfg.DisableClusterFlooding {
+		return true
+	}
+	return c.status == Head || c.isGateway()
+}
+
+func (c *CBRP) headSet() []pkt.NodeID {
+	out := make([]pkt.NodeID, 0, len(c.myHeads))
+	for h := range c.myHeads {
+		out = append(out, h)
+	}
+	return out
+}
+
+// --- data path --------------------------------------------------------------
+
+// cachedRoute is one origin-side route-cache entry.
+type cachedRoute struct {
+	route   []pkt.NodeID
+	expires sim.Time
+}
+
+// SendData implements network.Protocol.
+func (c *CBRP) SendData(p *pkt.Packet) {
+	now := c.env.Now()
+	// One-hop shortcut: the neighbour table is a free route.
+	if c.neighbors.fresh(p.Dst, now, c.cfg.HelloInterval) {
+		c.attachRoute(p, []pkt.NodeID{c.env.ID(), p.Dst})
+		c.env.SendMac(p, p.Dst)
+		return
+	}
+	if cr, ok := c.routes[p.Dst]; ok && cr.expires.After(now) {
+		c.attachRoute(p, append([]pkt.NodeID(nil), cr.route...))
+		c.forwardData(p)
+		return
+	}
+	c.buf.Push(p, now)
+	c.discover(p.Dst)
+}
+
+// cacheRoute installs an origin-side route.
+func (c *CBRP) cacheRoute(dst pkt.NodeID, route []pkt.NodeID) {
+	c.routes[dst] = cachedRoute{
+		route:   append([]pkt.NodeID(nil), route...),
+		expires: c.env.Now().Add(c.cfg.RouteCacheTTL),
+	}
+}
+
+// invalidateRoutesVia drops cached routes whose first hop is nb or that
+// traverse the link me→nb.
+func (c *CBRP) invalidateRoutesVia(a, b pkt.NodeID) {
+	for dst, cr := range c.routes {
+		for i := 0; i+1 < len(cr.route); i++ {
+			if cr.route[i] == a && cr.route[i+1] == b {
+				delete(c.routes, dst)
+				break
+			}
+		}
+	}
+}
+
+func (c *CBRP) attachRoute(p *pkt.Packet, route []pkt.NodeID) {
+	if p.SrcRoute != nil {
+		p.Size -= srBaseBytes + pkt.SrcRouteAddrBytes*len(p.SrcRoute)
+	}
+	p.SrcRoute = route
+	p.SRIndex = 0
+	p.Size += srBaseBytes + pkt.SrcRouteAddrBytes*len(route)
+}
+
+// forwardData sends p along its source route, applying shortening.
+func (c *CBRP) forwardData(p *pkt.Packet) {
+	me := c.env.ID()
+	idx := indexOf(p.SrcRoute, me)
+	if idx < 0 || idx+1 >= len(p.SrcRoute) {
+		c.env.Drop(p, stats.DropNoRoute)
+		return
+	}
+	next := idx + 1
+	if !c.cfg.DisableShortening {
+		// Skip ahead to the farthest downstream node that is a fresh
+		// direct neighbour (stale entries would break the pipe).
+		for j := len(p.SrcRoute) - 1; j > next; j-- {
+			if c.neighbors.fresh(p.SrcRoute[j], c.env.Now(), c.cfg.HelloInterval) {
+				next = j
+				break
+			}
+		}
+	}
+	p.SRIndex = idx
+	c.env.SendMac(p, p.SrcRoute[next])
+}
+
+// Recv implements network.Protocol.
+func (c *CBRP) Recv(p *pkt.Packet, from pkt.NodeID, _ float64) {
+	if p.Kind == pkt.KindRouting {
+		switch m := p.Payload.(type) {
+		case *hello:
+			c.neighbors.update(m, from, c.env.Now(), c.env.Now().Add(c.cfg.NeighborExpiry))
+		case *rreq:
+			c.handleRREQ(p, m)
+		case *rrep:
+			c.handleRREP(p, m)
+		case *rerr:
+			c.handleRERR(p, m)
+		}
+		return
+	}
+	p.Hops++
+	if p.Dst == c.env.ID() {
+		c.env.Deliver(p, from)
+		return
+	}
+	if p.Hops >= pkt.DefaultTTL {
+		c.env.Drop(p, stats.DropTTL)
+		return
+	}
+	c.forwardData(p)
+}
+
+// --- discovery ---------------------------------------------------------------
+
+func (c *CBRP) discover(target pkt.NodeID) {
+	if _, busy := c.disc[target]; busy {
+		return
+	}
+	pd := &pending{}
+	pd.timer = sim.NewTimer(c.env.Engine(), func() { c.discoveryTimeout(target) })
+	c.disc[target] = pd
+	now := c.env.Now()
+	if allowed, ok := c.nextRREQ[target]; ok && allowed.After(now) {
+		// Cooldown: wait out the remainder before re-flooding.
+		pd.timer.ResetAt(allowed)
+		return
+	}
+	c.sendRREQ(target, pd)
+}
+
+func (c *CBRP) sendRREQ(target pkt.NodeID, pd *pending) {
+	c.reqID++
+	c.nextRREQ[target] = c.env.Now().Add(c.cfg.DiscoveryBase / 2)
+	m := &rreq{
+		Origin: c.env.ID(),
+		Target: target,
+		ID:     c.reqID,
+		Record: []pkt.NodeID{c.env.ID()},
+	}
+	c.seen.Seen(routing.SeenKey{Origin: m.Origin, ID: m.ID}, c.env.Now())
+	p := pkt.RoutingPacket("RREQ", c.env.ID(), pkt.Broadcast, pkt.DefaultTTL,
+		rreqBaseBytes+pkt.SrcRouteAddrBytes*len(m.Record), c.env.Now())
+	p.Payload = m
+	c.env.SendMac(p, pkt.Broadcast)
+	timeout := c.cfg.DiscoveryBase
+	for i := 0; i < pd.attempts && timeout < c.cfg.DiscoveryMax; i++ {
+		timeout *= 2
+	}
+	if timeout > c.cfg.DiscoveryMax {
+		timeout = c.cfg.DiscoveryMax
+	}
+	pd.timer.Reset(timeout)
+}
+
+func (c *CBRP) discoveryTimeout(target pkt.NodeID) {
+	pd, ok := c.disc[target]
+	if !ok {
+		return
+	}
+	if !c.buf.HasDest(target, c.env.Now()) {
+		delete(c.disc, target)
+		return
+	}
+	pd.attempts++
+	if pd.attempts > 8 {
+		for _, p := range c.buf.PopDest(target, c.env.Now()) {
+			c.env.Drop(p, stats.DropNoRoute)
+		}
+		delete(c.disc, target)
+		return
+	}
+	c.sendRREQ(target, pd)
+}
+
+func (c *CBRP) handleRREQ(p *pkt.Packet, m *rreq) {
+	me := c.env.ID()
+	if m.Origin == me || indexOf(m.Record, me) >= 0 {
+		return
+	}
+	if c.seen.Seen(routing.SeenKey{Origin: m.Origin, ID: m.ID}, c.env.Now()) {
+		return
+	}
+	record := append(append([]pkt.NodeID(nil), m.Record...), me)
+	if m.Target == me {
+		c.sendRREP(record)
+		return
+	}
+	// The target may be a direct neighbour: a cluster head (which knows
+	// its whole cluster) completes the route without further flooding.
+	// Restricting the shortcut to heads keeps one answer per cluster
+	// rather than one per common neighbour.
+	if c.status == Head && c.neighbors.fresh(m.Target, c.env.Now(), c.cfg.HelloInterval) {
+		c.sendRREP(append(record, m.Target))
+		return
+	}
+	if !c.shouldReflood() {
+		return
+	}
+	p2 := p.Clone()
+	p2.TTL--
+	if p2.Expired() {
+		return
+	}
+	m2 := *m
+	m2.Record = record
+	p2.Payload = &m2
+	p2.Size = pkt.IPHeaderBytes + rreqBaseBytes + pkt.SrcRouteAddrBytes*len(record)
+	c.env.Engine().ScheduleIn(c.env.RNG().Jitter(routing.BroadcastJitter), func() {
+		c.env.SendMac(p2, pkt.Broadcast)
+	})
+}
+
+// sendRREP returns route (origin..target) to the origin along the reversed
+// record. When the replying node appended the target itself (neighbour
+// shortcut), it still sits one short of the end of the reverse path.
+func (c *CBRP) sendRREP(route []pkt.NodeID) {
+	me := c.env.ID()
+	i := indexOf(route, me)
+	if i < 1 {
+		return
+	}
+	back := make([]pkt.NodeID, 0, i+1)
+	for j := i; j >= 0; j-- {
+		back = append(back, route[j])
+	}
+	p := pkt.RoutingPacket("RREP", me, back[len(back)-1], pkt.DefaultTTL,
+		rrepBaseBytes+pkt.SrcRouteAddrBytes*(len(route)+len(back)), c.env.Now())
+	p.Payload = &rrep{Route: append([]pkt.NodeID(nil), route...)}
+	p.SrcRoute = back
+	p.SRIndex = 0
+	c.env.SendMac(p, back[1])
+}
+
+func (c *CBRP) handleRREP(p *pkt.Packet, m *rrep) {
+	me := c.env.ID()
+	if p.Dst == me {
+		target := m.Route[len(m.Route)-1]
+		if pd, ok := c.disc[target]; ok {
+			pd.timer.Stop()
+			delete(c.disc, target)
+		}
+		c.cacheRoute(target, m.Route)
+		for _, bp := range c.buf.PopDest(target, c.env.Now()) {
+			bp2 := bp
+			c.attachRoute(bp2, append([]pkt.NodeID(nil), m.Route...))
+			c.forwardData(bp2)
+		}
+		return
+	}
+	idx := indexOf(p.SrcRoute, me)
+	if idx < 0 || idx+1 >= len(p.SrcRoute) {
+		c.env.Drop(p, stats.DropNoRoute)
+		return
+	}
+	p2 := p.Clone()
+	p2.SRIndex = idx
+	c.env.SendMac(p2, p.SrcRoute[idx+1])
+}
+
+// --- maintenance --------------------------------------------------------------
+
+// MacFailed implements network.Protocol.
+func (c *CBRP) MacFailed(p *pkt.Packet, to pkt.NodeID) {
+	if to == pkt.Broadcast {
+		return
+	}
+	// The neighbour is gone as far as we can tell.
+	delete(c.neighbors.rows, to)
+	c.invalidateRoutesVia(c.env.ID(), to)
+	c.env.FlushNextHop(to)
+	if p.Kind != pkt.KindData {
+		return
+	}
+	me := c.env.ID()
+	if !c.cfg.DisableLocalRepair && c.localRepair(p, to) {
+		return
+	}
+	if p.Src == me {
+		c.buf.Push(p, c.env.Now())
+		c.discover(p.Dst)
+		return
+	}
+	c.sendRERR(p, me, to)
+	c.env.Drop(p, stats.DropSalvageFail)
+}
+
+// localRepair tries to bridge the broken hop using 2-hop neighbour
+// knowledge: find a neighbour adjacent to the unreachable next hop (or the
+// hop after it) and splice it into the source route.
+func (c *CBRP) localRepair(p *pkt.Packet, failed pkt.NodeID) bool {
+	me := c.env.ID()
+	idx := indexOf(p.SrcRoute, me)
+	if idx < 0 || idx+1 >= len(p.SrcRoute) {
+		return false
+	}
+	// Targets to re-reach, in order of preference: the node after the
+	// failed hop (bypassing it entirely), then the failed hop itself.
+	var targets []pkt.NodeID
+	if idx+2 < len(p.SrcRoute) {
+		targets = append(targets, p.SrcRoute[idx+2])
+	}
+	targets = append(targets, p.SrcRoute[idx+1])
+	now := c.env.Now()
+	for _, tgt := range targets {
+		// Direct (fresh) neighbour?
+		if tgt != failed && c.neighbors.fresh(tgt, now, c.cfg.HelloInterval) {
+			newRoute := spliceRoute(p.SrcRoute, idx, tgt, false, 0)
+			c.attachRoute(p, newRoute)
+			c.forwardData(p)
+			return true
+		}
+		// Via an intermediate fresh neighbour?
+		for _, via := range c.neighbors.ids() {
+			if via == failed || !c.neighbors.fresh(via, now, c.cfg.HelloInterval) {
+				continue
+			}
+			if c.neighbors.neighborOf(via, tgt) {
+				newRoute := spliceRoute(p.SrcRoute, idx, tgt, true, via)
+				c.attachRoute(p, newRoute)
+				c.forwardData(p)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spliceRoute rebuilds a source route: prefix up to idx (inclusive), then
+// optional via, then from tgt onward.
+func spliceRoute(route []pkt.NodeID, idx int, tgt pkt.NodeID, hasVia bool, via pkt.NodeID) []pkt.NodeID {
+	out := append([]pkt.NodeID(nil), route[:idx+1]...)
+	if hasVia {
+		out = append(out, via)
+	}
+	ti := indexOf(route, tgt)
+	out = append(out, route[ti:]...)
+	// Remove accidental duplicates introduced by the splice (keep first).
+	seen := make(map[pkt.NodeID]bool, len(out))
+	clean := out[:0]
+	for _, n := range out {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		clean = append(clean, n)
+	}
+	return clean
+}
+
+// sendRERR notifies the packet source of broken link a→b along the reversed
+// traversed prefix.
+func (c *CBRP) sendRERR(p *pkt.Packet, a, b pkt.NodeID) {
+	me := c.env.ID()
+	idx := indexOf(p.SrcRoute, me)
+	if idx < 1 {
+		return
+	}
+	back := make([]pkt.NodeID, 0, idx+1)
+	for j := idx; j >= 0; j-- {
+		back = append(back, p.SrcRoute[j])
+	}
+	ep := pkt.RoutingPacket("RERR", me, p.Src, pkt.DefaultTTL, rerrBytes, c.env.Now())
+	ep.Payload = &rerr{A: a, B: b}
+	ep.SrcRoute = back
+	ep.SRIndex = 0
+	c.env.SendMac(ep, back[1])
+}
+
+func (c *CBRP) handleRERR(p *pkt.Packet, m *rerr) {
+	me := c.env.ID()
+	c.invalidateRoutesVia(m.A, m.B)
+	if p.Dst == me {
+		return
+	}
+	idx := indexOf(p.SrcRoute, me)
+	if idx < 0 || idx+1 >= len(p.SrcRoute) {
+		return
+	}
+	p2 := p.Clone()
+	p2.SRIndex = idx
+	c.env.SendMac(p2, p.SrcRoute[idx+1])
+}
+
+// Snoop implements network.Protocol (unused; CBRP relies on HELLOs).
+func (c *CBRP) Snoop(*pkt.Packet, pkt.NodeID, pkt.NodeID, float64) {}
+
+// MacSent implements network.Protocol (unused).
+func (c *CBRP) MacSent(*pkt.Packet, pkt.NodeID) {}
+
+func indexOf(path []pkt.NodeID, n pkt.NodeID) int {
+	for i, v := range path {
+		if v == n {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,155 @@
+package cbrp_test
+
+import (
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/network"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/routing/cbrp"
+	"adhocsim/internal/routing/rtest"
+	"adhocsim/internal/sim"
+)
+
+func instrumented(cfg cbrp.Config, agents *[]*cbrp.CBRP) network.ProtocolFactory {
+	return func(pkt.NodeID) network.Protocol {
+		a := cbrp.New(cfg)
+		*agents = append(*agents, a)
+		return a
+	}
+}
+
+func fastCfg() cbrp.Config {
+	return cbrp.Config{HelloInterval: sim.Second}
+}
+
+func rtestFactory(cfg cbrp.Config) network.ProtocolFactory { return cbrp.Factory(cfg) }
+
+// trackSet builds the local-repair scenario: route 0-1-2-3 with node 2
+// leaving at t=8 and node 4 positioned to bridge 1→3.
+func trackSet() []*mobility.Track {
+	return []*mobility.Track{
+		mobility.Static(geo.Pt(0, 0)),
+		mobility.Static(geo.Pt(200, 0)),
+		rtest.MovingAwayTrack(geo.Pt(400, 0), geo.Pt(400, 5000), sim.At(8), 500),
+		mobility.Static(geo.Pt(600, 0)),
+		mobility.Static(geo.Pt(400, 80)),
+	}
+}
+
+func TestClusterFormationOnChain(t *testing.T) {
+	var agents []*cbrp.CBRP
+	h := rtest.NewChain(t, 6, 200, instrumented(fastCfg(), &agents))
+	h.Run(10)
+	heads := 0
+	for i, a := range agents {
+		switch a.Status() {
+		case cbrp.Head:
+			heads++
+		case cbrp.Undecided:
+			t.Fatalf("node %d still undecided after 10 hello rounds", i)
+		}
+	}
+	if heads == 0 || heads == 6 {
+		t.Fatalf("degenerate clustering: %d heads of 6 nodes", heads)
+	}
+	// Node 0 has the lowest ID in its neighbourhood: must be a head.
+	if agents[0].Status() != cbrp.Head {
+		t.Fatalf("node 0 is %v, want head", agents[0].Status())
+	}
+	// Node 1 is adjacent to head 0: must be its member.
+	if agents[1].Status() != cbrp.Member {
+		t.Fatalf("node 1 is %v, want member", agents[1].Status())
+	}
+	found := false
+	for _, hd := range agents[1].Heads() {
+		if hd == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("node 1 heads = %v, want to include n0", agents[1].Heads())
+	}
+}
+
+func TestRoutingAcrossClusters(t *testing.T) {
+	h := rtest.NewChain(t, 6, 200, rtestFactory(fastCfg()))
+	h.SendMany(0, 5, 10, sim.At(6), 200*sim.Millisecond)
+	h.Run(15)
+	if got := h.DeliveredUnique(5); got != 10 {
+		t.Fatalf("delivered %d/10 across clusters", got)
+	}
+}
+
+func TestOneHopNeighborShortcut(t *testing.T) {
+	// Adjacent destination: no RREQ at all once hellos have run.
+	h := rtest.NewChain(t, 3, 200, rtestFactory(fastCfg()))
+	h.SendAt(0, 1, sim.At(5))
+	h.Run(8)
+	res := h.World.Collector.Finalize()
+	if res.RoutingByType["RREQ"] != 0 {
+		t.Fatalf("RREQ used for a direct neighbour: %d", res.RoutingByType["RREQ"])
+	}
+	if h.DeliveredTo(1) != 1 {
+		t.Fatal("no delivery")
+	}
+}
+
+func TestClusterFloodingCheaperThanBlind(t *testing.T) {
+	// A dense 12-node two-row grid: with clustering only heads/gateways
+	// reflood, so total RREQ transmissions must be lower than with
+	// DisableClusterFlooding (every node refloods).
+	positions := make([]geo.Point, 0, 12)
+	for i := 0; i < 6; i++ {
+		positions = append(positions, geo.Pt(float64(i)*150, 0))
+		positions = append(positions, geo.Pt(float64(i)*150, 120))
+	}
+	run := func(disable bool) (uint64, int) {
+		cfg := fastCfg()
+		cfg.DisableClusterFlooding = disable
+		h := rtest.NewPositions(t, positions, rtestFactory(cfg))
+		h.SendAt(0, 10, sim.At(6)) // far corner
+		h.Run(12)
+		return h.World.Collector.Finalize().RoutingByType["RREQ"], h.DeliveredTo(10)
+	}
+	clusterTx, clusterOK := run(false)
+	blindTx, blindOK := run(true)
+	if clusterOK != 1 || blindOK != 1 {
+		t.Fatalf("delivery failed: cluster %d blind %d", clusterOK, blindOK)
+	}
+	if clusterTx >= blindTx {
+		t.Fatalf("cluster flooding (%d tx) not cheaper than blind flooding (%d tx)", clusterTx, blindTx)
+	}
+}
+
+func TestLocalRepairBridgesBrokenHop(t *testing.T) {
+	// Route 0-1-2-3; node 2 dies at t=8 but node 4 sits beside it and can
+	// bridge 1→3. With local repair most packets survive.
+	run := func(disableRepair bool) int {
+		cfg := fastCfg()
+		cfg.DisableLocalRepair = disableRepair
+		h := rtest.NewTracks(t, trackSet(), rtestFactory(cfg))
+		h.SendMany(0, 3, 40, sim.At(6), 250*sim.Millisecond)
+		h.Run(25)
+		return h.DeliveredUnique(3)
+	}
+	withRepair := run(false)
+	if withRepair < 32 {
+		t.Fatalf("delivered %d/40 with local repair", withRepair)
+	}
+}
+
+func TestHellosAreOnlyIdleTraffic(t *testing.T) {
+	h := rtest.NewChain(t, 4, 200, rtestFactory(fastCfg()))
+	h.Run(20)
+	res := h.World.Collector.Finalize()
+	for typ := range res.RoutingByType {
+		if typ != "HELLO" {
+			t.Fatalf("idle CBRP sent %s traffic", typ)
+		}
+	}
+	if res.RoutingByType["HELLO"] == 0 {
+		t.Fatal("no hellos at all")
+	}
+}

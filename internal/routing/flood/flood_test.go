@@ -1,0 +1,68 @@
+package flood_test
+
+import (
+	"testing"
+
+	"adhocsim/internal/network"
+	"adhocsim/internal/routing/flood"
+	"adhocsim/internal/routing/rtest"
+	"adhocsim/internal/sim"
+)
+
+func factory(cfg flood.Config) network.ProtocolFactory { return flood.Factory(cfg) }
+
+func TestFloodDeliversAcrossChain(t *testing.T) {
+	h := rtest.NewChain(t, 5, 200, factory(flood.Config{}))
+	h.SendMany(0, 4, 5, sim.At(1), 500*sim.Millisecond)
+	h.Run(10)
+	if got := h.DeliveredUnique(4); got != 5 {
+		t.Fatalf("delivered %d/5", got)
+	}
+}
+
+func TestFloodDedupBoundsTransmissions(t *testing.T) {
+	// One packet through a 5-node chain: each node broadcasts at most
+	// once, so at most 5 data transmissions occur (origin + 4 relays,
+	// and the destination does not rebroadcast → at most 4).
+	h := rtest.NewChain(t, 5, 200, factory(flood.Config{}))
+	h.SendAt(0, 4, sim.At(1))
+	h.Run(5)
+	res := h.World.Collector.Finalize()
+	if res.DataTxPackets > 5 {
+		t.Fatalf("flood dedup failed: %d data transmissions for one packet", res.DataTxPackets)
+	}
+	if h.DeliveredUnique(4) != 1 {
+		t.Fatal("no delivery")
+	}
+}
+
+func TestFloodTTLBoundsReach(t *testing.T) {
+	h := rtest.NewChain(t, 6, 200, factory(flood.Config{TTL: 2}))
+	h.SendAt(0, 5, sim.At(1))
+	h.Run(5)
+	if h.DeliveredTo(5) != 0 {
+		t.Fatal("packet crossed 5 hops with TTL 2")
+	}
+	res := h.World.Collector.Finalize()
+	if res.Drops["ttl-expired"] == 0 {
+		t.Fatalf("no TTL drop recorded: %v", res.Drops)
+	}
+	// A closer destination is fine.
+	h2 := rtest.NewChain(t, 6, 200, factory(flood.Config{TTL: 2}))
+	h2.SendAt(0, 2, sim.At(1))
+	h2.Run(5)
+	if h2.DeliveredTo(2) != 1 {
+		t.Fatal("TTL-2 flood failed to cover 2 hops")
+	}
+}
+
+func TestFloodDeliversDespitePartitionLater(t *testing.T) {
+	// Flooding has no routes to break: delivery works whenever the graph
+	// is momentarily connected.
+	h := rtest.NewChain(t, 3, 240, factory(flood.Config{}))
+	h.SendAt(0, 2, sim.At(1))
+	h.Run(3)
+	if h.DeliveredTo(2) != 1 {
+		t.Fatal("flood failed on connected chain")
+	}
+}

@@ -1,0 +1,44 @@
+// Package paodv provides Preemptive AODV: standard AODV plus an early-
+// warning mechanism that re-discovers routes when the received signal power
+// on a hop drops toward the reception threshold (the link is about to
+// stretch beyond radio range). It is implemented as a configuration of the
+// aodv package; this package pins the preemptive defaults used in the
+// study's comparison.
+package paodv
+
+import (
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/routing/aodv"
+)
+
+// DefaultWarnFraction is the fraction of the nominal radio range at which
+// warnings start: a packet received from farther than this distance is
+// considered to be riding a weakening link.
+const DefaultWarnFraction = 0.85
+
+// Config tunes PAODV.
+type Config struct {
+	// AODV carries the base-protocol parameters (Preemptive fields are
+	// overwritten by this package).
+	AODV aodv.Config
+	// WarnFraction overrides DefaultWarnFraction when > 0.
+	WarnFraction float64
+	// Radio supplies the propagation model used to translate the warning
+	// distance into a power threshold. Required.
+	Radio phy.RadioParams
+}
+
+// Factory returns a protocol factory with preemptive warnings enabled at
+// the configured distance fraction.
+func Factory(cfg Config) network.ProtocolFactory {
+	frac := cfg.WarnFraction
+	if frac <= 0 {
+		frac = DefaultWarnFraction
+	}
+	base := cfg.AODV
+	base.Preemptive = true
+	warnDist := cfg.Radio.RxRange() * frac
+	base.WarnPower = cfg.Radio.Prop.RxPower(cfg.Radio.TxPower, warnDist)
+	return aodv.Factory(base)
+}

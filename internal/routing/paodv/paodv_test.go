@@ -1,0 +1,46 @@
+package paodv_test
+
+import (
+	"testing"
+
+	"adhocsim/internal/phy"
+	"adhocsim/internal/routing/paodv"
+	"adhocsim/internal/routing/rtest"
+	"adhocsim/internal/sim"
+)
+
+func TestFactoryDeliversLikeAODV(t *testing.T) {
+	f := paodv.Factory(paodv.Config{Radio: phy.DefaultParams()})
+	h := rtest.NewChain(t, 5, 200, f)
+	h.SendMany(0, 4, 10, sim.At(1), 100*sim.Millisecond)
+	h.Run(10)
+	if got := h.DeliveredUnique(4); got != 10 {
+		t.Fatalf("delivered %d/10", got)
+	}
+}
+
+func TestWarnThresholdScalesWithRange(t *testing.T) {
+	// A smaller radio range must yield a higher warning power threshold
+	// (closer warning distance ⇒ more received power).
+	big := phy.DefaultParams()            // 250 m
+	small := phy.ParamsForRange(100, 220) // 100 m
+	warnBig := big.Prop.RxPower(big.TxPower, big.RxRange()*paodv.DefaultWarnFraction)
+	warnSmall := small.Prop.RxPower(small.TxPower, small.RxRange()*paodv.DefaultWarnFraction)
+	if warnSmall <= warnBig {
+		t.Fatalf("warn threshold did not scale: %g vs %g", warnSmall, warnBig)
+	}
+}
+
+func TestCustomWarnFraction(t *testing.T) {
+	// A fraction of 0.5 warns earlier (higher power threshold) than 0.9;
+	// both must produce working protocols.
+	for _, frac := range []float64{0.5, 0.9} {
+		f := paodv.Factory(paodv.Config{Radio: phy.DefaultParams(), WarnFraction: frac})
+		h := rtest.NewChain(t, 3, 200, f)
+		h.SendAt(0, 2, sim.At(1))
+		h.Run(5)
+		if h.DeliveredTo(2) != 1 {
+			t.Fatalf("fraction %.1f: no delivery", frac)
+		}
+	}
+}

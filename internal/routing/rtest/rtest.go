@@ -1,0 +1,147 @@
+// Package rtest provides a compact harness for routing-protocol tests:
+// small deterministic topologies (chains, custom tracks), traffic
+// origination, and delivery accounting. It exists so each protocol package
+// can write behavioural tests without duplicating world wiring.
+package rtest
+
+import (
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mac"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/topo"
+)
+
+// Delivery records one packet arriving at its destination sink.
+type Delivery struct {
+	Pkt  *pkt.Packet
+	At   sim.Time
+	Node pkt.NodeID
+}
+
+// Harness wraps a world with delivery capture.
+type Harness struct {
+	T          *testing.T
+	World      *network.World
+	Deliveries []Delivery
+	seq        map[pkt.NodeID]uint32
+}
+
+// NewChain builds a static chain of n nodes with the given spacing (metres)
+// running the protocol produced by factory. Spacing 200 with default radios
+// links each node to its immediate neighbours only.
+func NewChain(t *testing.T, n int, spacing float64, factory network.ProtocolFactory) *Harness {
+	t.Helper()
+	return NewTracks(t, mobility.Chain(n, spacing), factory)
+}
+
+// NewPositions builds a static topology at explicit positions.
+func NewPositions(t *testing.T, positions []geo.Point, factory network.ProtocolFactory) *Harness {
+	t.Helper()
+	tracks := make([]*mobility.Track, len(positions))
+	for i, p := range positions {
+		tracks[i] = mobility.Static(p)
+	}
+	return NewTracks(t, tracks, factory)
+}
+
+// NewTracks builds a topology from arbitrary mobility tracks.
+func NewTracks(t *testing.T, tracks []*mobility.Track, factory network.ProtocolFactory) *Harness {
+	t.Helper()
+	radio := phy.DefaultParams()
+	world, err := network.NewWorld(network.Config{
+		Tracks:   tracks,
+		Radio:    radio,
+		Mac:      mac.Config{},
+		Protocol: factory,
+		Seed:     12345,
+		Oracle:   topo.NewOracle(tracks, radio.RxRange()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Harness{T: t, World: world, seq: make(map[pkt.NodeID]uint32)}
+	for _, n := range world.Nodes {
+		n := n
+		n.SetSink(func(p *pkt.Packet, from pkt.NodeID) {
+			h.Deliveries = append(h.Deliveries, Delivery{Pkt: p, At: world.Eng.Now(), Node: n.ID()})
+		})
+	}
+	world.Eng.Limit = 20_000_000
+	world.Start()
+	return h
+}
+
+// SendAt schedules one data packet from src to dst at time at.
+func (h *Harness) SendAt(src, dst pkt.NodeID, at sim.Time) *pkt.Packet {
+	h.seq[src]++
+	seq := h.seq[src]
+	p := pkt.DataPacket(src, dst, seq, 64, at)
+	h.World.Eng.Schedule(at, func() {
+		p.CreatedAt = h.World.Eng.Now()
+		h.World.Node(src).Originate(p)
+	})
+	return p
+}
+
+// SendMany schedules n packets src→dst starting at `start`, spaced by gap.
+func (h *Harness) SendMany(src, dst pkt.NodeID, n int, start sim.Time, gap sim.Duration) {
+	for i := 0; i < n; i++ {
+		h.SendAt(src, dst, start.Add(sim.Duration(i)*gap))
+	}
+}
+
+// Run executes the simulation until the given number of simulated seconds.
+func (h *Harness) Run(seconds float64) {
+	h.T.Helper()
+	if err := h.World.Run(sim.At(seconds)); err != nil {
+		h.T.Fatal(err)
+	}
+}
+
+// DeliveredTo counts deliveries at node id.
+func (h *Harness) DeliveredTo(id pkt.NodeID) int {
+	c := 0
+	for _, d := range h.Deliveries {
+		if d.Node == id {
+			c++
+		}
+	}
+	return c
+}
+
+// DeliveredUnique counts distinct (src,seq) pairs delivered at id.
+func (h *Harness) DeliveredUnique(id pkt.NodeID) int {
+	seen := map[[2]uint64]bool{}
+	for _, d := range h.Deliveries {
+		if d.Node == id {
+			seen[[2]uint64{uint64(d.Pkt.Src), uint64(d.Pkt.Seq)}] = true
+		}
+	}
+	return len(seen)
+}
+
+// RoutingTx returns the total routing transmissions counted so far.
+func (h *Harness) RoutingTx() uint64 {
+	return h.World.Collector.Finalize().RoutingTxPackets
+}
+
+// Results finalizes and returns current metrics.
+func (h *Harness) Results() interface{ PathOptimalityShare() float64 } {
+	r := h.World.Collector.Finalize()
+	return r
+}
+
+// MovingAwayTrack returns a track that sits at from until tMove, then moves
+// to to at speed (m/s) — the standard way to break a link mid-test.
+func MovingAwayTrack(from, to geo.Point, tMove sim.Time, speed float64) *mobility.Track {
+	return mobility.MustTrack([]mobility.Segment{
+		{Start: 0, From: from, To: from, Speed: 0},
+		{Start: tMove, From: from, To: to, Speed: speed},
+	})
+}

@@ -1,0 +1,192 @@
+// Package scenario turns a declarative experiment specification into
+// concrete simulation inputs: mobility tracks (setdest), CBR connection
+// lists (cbrgen) and radio parameters, all derived deterministically from a
+// seed.
+package scenario
+
+import (
+	"fmt"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/traffic"
+)
+
+// Spec describes one experiment configuration (before seeding).
+type Spec struct {
+	// Nodes is the network size (study: up to 40).
+	Nodes int
+	// Area is the simulation rectangle in metres (study family:
+	// 1500×300).
+	Area geo.Rect
+	// Duration is the simulated time horizon.
+	Duration sim.Duration
+
+	// Mobility (random waypoint unless Static).
+	MaxSpeed float64 // m/s (study: 20)
+	MinSpeed float64 // m/s (CMU setdest uses ~1 to avoid speed decay)
+	Pause    sim.Duration
+
+	// Traffic.
+	Sources      int     // number of CBR connections
+	Rate         float64 // packets/s per connection (study: 4)
+	PayloadBytes int     // study: 64
+	// TrafficStart window: connection start times are uniform in
+	// [StartMin, StartMax].
+	StartMin, StartMax sim.Duration
+
+	// Radio.
+	TxRange float64 // metres (study: 250); 0 selects the default params
+	CSRange float64 // metres; 0 selects 2.2 × TxRange
+
+	// Model, when non-nil, overrides the mobility model (e.g.
+	// mobility.GroupMobility for convoy scenarios); the speed/pause
+	// fields above are then ignored.
+	Model mobility.Model
+}
+
+// Default returns the reconstructed study configuration: 40 nodes,
+// 1500×300 m, 20 m/s random waypoint, 10 CBR sources at 4 pkt/s of 64-byte
+// payloads, 250 m radios, 900 s horizon.
+func Default() Spec {
+	return Spec{
+		Nodes:        40,
+		Area:         geo.Rect{W: 1500, H: 300},
+		Duration:     900 * sim.Second,
+		MaxSpeed:     20,
+		MinSpeed:     1,
+		Pause:        0,
+		Sources:      10,
+		Rate:         4,
+		PayloadBytes: 64,
+		StartMin:     10 * sim.Second,
+		StartMax:     90 * sim.Second,
+		TxRange:      250,
+	}
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("scenario: need at least 2 nodes, got %d", s.Nodes)
+	}
+	if s.Area.W <= 0 || s.Area.H <= 0 {
+		return fmt.Errorf("scenario: degenerate area %+v", s.Area)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario: non-positive duration")
+	}
+	if s.Sources < 1 {
+		return fmt.Errorf("scenario: need at least one source")
+	}
+	if s.Sources > s.Nodes*(s.Nodes-1) {
+		return fmt.Errorf("scenario: %d sources exceed possible pairs", s.Sources)
+	}
+	if s.Rate <= 0 || s.PayloadBytes <= 0 {
+		return fmt.Errorf("scenario: bad traffic parameters")
+	}
+	if s.MaxSpeed < 0 || s.MinSpeed < 0 || s.MaxSpeed < s.MinSpeed {
+		return fmt.Errorf("scenario: bad speed range [%v,%v]", s.MinSpeed, s.MaxSpeed)
+	}
+	if s.StartMax < s.StartMin {
+		return fmt.Errorf("scenario: bad start window")
+	}
+	return nil
+}
+
+// Instance is a fully-generated scenario ready to simulate.
+type Instance struct {
+	Spec        Spec
+	Seed        int64
+	Tracks      []*mobility.Track
+	Connections []traffic.Connection
+	Radio       phy.RadioParams
+}
+
+// Generate expands the spec deterministically from seed.
+func (s Spec) Generate(seed int64) (*Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(seed)
+
+	model := s.Model
+	if model == nil {
+		model = mobility.RandomWaypoint{
+			Area:     s.Area,
+			MinSpeed: s.MinSpeed,
+			MaxSpeed: s.MaxSpeed,
+			Pause:    s.Pause,
+		}
+	}
+	tracks, err := model.Generate(s.Nodes, s.Duration, root.ForkNamed("mobility"))
+	if err != nil {
+		return nil, err
+	}
+
+	conns, err := s.generateConnections(root.ForkNamed("traffic"))
+	if err != nil {
+		return nil, err
+	}
+
+	radio := phy.DefaultParams()
+	if s.TxRange > 0 && s.TxRange != 250 || s.CSRange > 0 {
+		cs := s.CSRange
+		if cs <= 0 {
+			cs = 2.2 * s.TxRange
+		}
+		radio = phy.ParamsForRange(s.TxRange, cs)
+	}
+
+	return &Instance{
+		Spec:        s,
+		Seed:        seed,
+		Tracks:      tracks,
+		Connections: conns,
+		Radio:       radio,
+	}, nil
+}
+
+// generateConnections draws distinct (src,dst) pairs, like cbrgen: sources
+// are distinct nodes where possible, destinations uniform among the others.
+// The start window is clamped to the first half of the run so that short
+// scenarios still carry traffic.
+func (s Spec) generateConnections(rng *sim.RNG) ([]traffic.Connection, error) {
+	if max := s.Duration / 2; s.StartMax > max {
+		s.StartMax = max
+		if s.StartMin > s.StartMax {
+			s.StartMin = s.StartMax
+		}
+	}
+	used := make(map[[2]int32]bool)
+	var conns []traffic.Connection
+	attempts := 0
+	for len(conns) < s.Sources {
+		attempts++
+		if attempts > 100*s.Sources+1000 {
+			return nil, fmt.Errorf("scenario: could not draw %d distinct connections", s.Sources)
+		}
+		src := int32(rng.Intn(s.Nodes))
+		dst := int32(rng.Intn(s.Nodes))
+		if src == dst {
+			continue
+		}
+		key := [2]int32{src, dst}
+		if used[key] {
+			continue
+		}
+		used[key] = true
+		start := sim.Time(0).Add(rng.DurationUniform(s.StartMin, s.StartMax+1))
+		conns = append(conns, traffic.Connection{
+			Src:          pkt.NodeID(src),
+			Dst:          pkt.NodeID(dst),
+			Rate:         s.Rate,
+			PayloadBytes: s.PayloadBytes,
+			Start:        start,
+		})
+	}
+	return conns, nil
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/topo"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationCatchesBadSpecs(t *testing.T) {
+	mk := func(mut func(*Spec)) Spec {
+		s := Default()
+		mut(&s)
+		return s
+	}
+	bad := []Spec{
+		mk(func(s *Spec) { s.Nodes = 1 }),
+		mk(func(s *Spec) { s.Area = geo.Rect{} }),
+		mk(func(s *Spec) { s.Duration = 0 }),
+		mk(func(s *Spec) { s.Sources = 0 }),
+		mk(func(s *Spec) { s.Nodes = 3; s.Sources = 100 }),
+		mk(func(s *Spec) { s.Rate = 0 }),
+		mk(func(s *Spec) { s.PayloadBytes = 0 }),
+		mk(func(s *Spec) { s.MinSpeed = 30 }),
+		mk(func(s *Spec) { s.StartMin = 2 * sim.Second; s.StartMax = sim.Second }),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+		if _, err := s.Generate(1); err == nil {
+			t.Fatalf("bad spec %d generated", i)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	s := Default()
+	s.Duration = 100 * sim.Second
+	inst, err := s.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tracks) != s.Nodes {
+		t.Fatalf("tracks = %d", len(inst.Tracks))
+	}
+	if len(inst.Connections) != s.Sources {
+		t.Fatalf("connections = %d", len(inst.Connections))
+	}
+	seen := map[[2]int32]bool{}
+	for _, c := range inst.Connections {
+		if c.Src == c.Dst {
+			t.Fatal("self-loop connection")
+		}
+		k := [2]int32{int32(c.Src), int32(c.Dst)}
+		if seen[k] {
+			t.Fatal("duplicate connection pair")
+		}
+		seen[k] = true
+		if c.Start < sim.Time(0).Add(s.StartMin) || c.Start > sim.Time(0).Add(s.StartMax)+1 {
+			t.Fatalf("start %v outside window", c.Start)
+		}
+	}
+	// Default radio: exactly the CMU 250 m parameters.
+	if r := inst.Radio.RxRange(); r < 249 || r > 251 {
+		t.Fatalf("radio range = %f", r)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Default()
+	s.Duration = 60 * sim.Second
+	a, _ := s.Generate(5)
+	b, _ := s.Generate(5)
+	for i := range a.Tracks {
+		for ts := 0.0; ts < 60; ts += 9 {
+			if a.Tracks[i].At(sim.At(ts)) != b.Tracks[i].At(sim.At(ts)) {
+				t.Fatal("same seed, different mobility")
+			}
+		}
+	}
+	for i := range a.Connections {
+		if a.Connections[i] != b.Connections[i] {
+			t.Fatal("same seed, different connections")
+		}
+	}
+	c, _ := s.Generate(6)
+	if a.Tracks[0].At(sim.At(9)) == c.Tracks[0].At(sim.At(9)) &&
+		a.Tracks[1].At(sim.At(9)) == c.Tracks[1].At(sim.At(9)) {
+		t.Fatal("different seeds produced identical mobility")
+	}
+}
+
+func TestCustomRange(t *testing.T) {
+	s := Default()
+	s.TxRange = 100
+	inst, err := s.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := inst.Radio.RxRange(); r < 99 || r > 101 {
+		t.Fatalf("custom range = %f", r)
+	}
+	if cs := inst.Radio.CSRange(); cs < 215 || cs > 225 {
+		t.Fatalf("default CS scaling = %f, want ~220", cs)
+	}
+}
+
+func TestStaticSpec(t *testing.T) {
+	s := Default()
+	s.MaxSpeed, s.MinSpeed = 0, 0
+	s.Duration = 30 * sim.Second
+	inst, err := s.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range inst.Tracks {
+		if tr.At(0) != tr.At(sim.At(30)) {
+			t.Fatal("static scenario moved")
+		}
+	}
+}
+
+// TestScenarioConnectivitySanity documents that the default 40-node strip is
+// usually connected — the premise of the study's traffic patterns.
+func TestScenarioConnectivitySanity(t *testing.T) {
+	s := Default()
+	s.Duration = 60 * sim.Second
+	inst, err := s.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	connectedSamples := 0
+	const samples = 12
+	for i := 0; i < samples; i++ {
+		g := topo.Snapshot(inst.Tracks, sim.At(float64(i)*5), 250)
+		if g.Connected() {
+			connectedSamples++
+		}
+	}
+	if connectedSamples < samples/2 {
+		t.Fatalf("default scenario mostly partitioned: %d/%d connected", connectedSamples, samples)
+	}
+}
+
+func TestModelOverride(t *testing.T) {
+	s := Default()
+	s.Nodes = 8
+	s.Duration = 30 * sim.Second
+	s.Model = mobility.GroupMobility{
+		Area: s.Area, Groups: 2, MinSpeed: 1, MaxSpeed: 5, Spread: 80,
+	}
+	inst, err := s.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tracks) != 8 {
+		t.Fatalf("tracks = %d", len(inst.Tracks))
+	}
+	// Group members (round-robin: 0,2,4,6 vs 1,3,5,7) stay together.
+	d02 := inst.Tracks[0].At(sim.At(15)).Dist(inst.Tracks[2].At(sim.At(15)))
+	if d02 > 4*80 {
+		t.Fatalf("group members %f m apart", d02)
+	}
+}

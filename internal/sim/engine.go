@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventFunc is the body of a scheduled event. It runs with the engine clock
+// set to the event's timestamp.
+type EventFunc func()
+
+// Handle identifies a scheduled event so it can be cancelled. The zero Handle
+// is invalid.
+type Handle uint64
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps, and determinism
+	fn   EventFunc
+	h    Handle
+	dead bool // cancelled; skipped when popped
+	idx  int  // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is NOT safe for
+// concurrent use; run one Engine per goroutine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	nextH   Handle
+	live    map[Handle]*event
+	stopped bool
+
+	// Executed counts events actually dispatched (statistics / loop guards).
+	Executed uint64
+	// Limit, when non-zero, aborts Run with an error after this many events.
+	// It is a guard against runaway protocol loops in tests.
+	Limit uint64
+}
+
+// NewEngine returns an empty engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[Handle]*event, 64)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (e *Engine) Len() int { return len(e.live) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before Now)
+// panics: it always indicates a model bug.
+func (e *Engine) Schedule(at Time, fn EventFunc) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.nextSeq++
+	e.nextH++
+	ev := &event{at: at, seq: e.nextSeq, fn: fn, h: e.nextH}
+	heap.Push(&e.queue, ev)
+	e.live[ev.h] = ev
+	return ev.h
+}
+
+// ScheduleIn runs fn after delay d (clamped to zero).
+func (e *Engine) ScheduleIn(d Duration, fn EventFunc) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled handle is a no-op and reports false.
+func (e *Engine) Cancel(h Handle) bool {
+	ev, ok := e.live[h]
+	if !ok {
+		return false
+	}
+	delete(e.live, h)
+	ev.dead = true
+	if ev.idx >= 0 {
+		heap.Remove(&e.queue, ev.idx)
+	}
+	return true
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue is empty, the
+// clock passes until, or Stop is called. Events scheduled exactly at until
+// still run. The clock is left at min(until, last event time).
+func (e *Engine) Run(until Time) error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.dead {
+			continue
+		}
+		delete(e.live, ev.h)
+		e.now = ev.at
+		e.Executed++
+		if e.Limit != 0 && e.Executed > e.Limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.Limit, e.now)
+		}
+		ev.fn()
+	}
+	if until != Never && e.now < until && !e.stopped {
+		e.now = until
+	}
+	return nil
+}
+
+// RunAll dispatches every pending event regardless of timestamp.
+func (e *Engine) RunAll() error { return e.Run(Never) }
+
+// Timer is a restartable one-shot timer bound to an engine, the building
+// block for protocol timeouts (route expiry, retransmission, hello beacons).
+// The zero value is unusable; create with NewTimer.
+type Timer struct {
+	e  *Engine
+	fn EventFunc
+	h  Handle
+	on bool
+}
+
+// NewTimer binds fn to engine e. The timer starts stopped.
+func NewTimer(e *Engine, fn EventFunc) *Timer {
+	return &Timer{e: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, cancelling any pending firing.
+func (t *Timer) Reset(d Duration) {
+	t.Stop()
+	t.on = true
+	t.h = t.e.ScheduleIn(d, func() {
+		t.on = false
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.on = true
+	t.h = t.e.Schedule(at, func() {
+		t.on = false
+		t.fn()
+	})
+}
+
+// Stop cancels a pending firing. It reports whether a firing was pending.
+func (t *Timer) Stop() bool {
+	if !t.on {
+		return false
+	}
+	t.on = false
+	return t.e.Cancel(t.h)
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.on }
+
+// Ticker repeatedly invokes fn every interval until stopped. Intervals may be
+// jittered by the caller via the OnTick hook returning the next interval.
+type Ticker struct {
+	t        *Timer
+	interval Duration
+	stopped  bool
+	// Jitter, if non-nil, returns the next interval (e.g. randomized
+	// beacon spacing). It is consulted before every tick.
+	Jitter func() Duration
+}
+
+// NewTicker creates a ticker bound to e that calls fn every interval once
+// started. fn runs before the next tick is scheduled, so fn may Stop it.
+func NewTicker(e *Engine, interval Duration, fn EventFunc) *Ticker {
+	tk := &Ticker{interval: interval}
+	tk.t = NewTimer(e, func() {
+		fn()
+		if !tk.stopped {
+			tk.schedule()
+		}
+	})
+	return tk
+}
+
+func (tk *Ticker) schedule() {
+	iv := tk.interval
+	if tk.Jitter != nil {
+		iv = tk.Jitter()
+	}
+	tk.t.Reset(iv)
+}
+
+// Start begins ticking; the first tick fires after one interval (plus jitter).
+func (tk *Ticker) Start() {
+	tk.stopped = false
+	tk.schedule()
+}
+
+// StartIn begins ticking with a custom first delay.
+func (tk *Ticker) StartIn(first Duration) {
+	tk.stopped = false
+	tk.t.Reset(first)
+}
+
+// Stop cancels future ticks.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	tk.t.Stop()
+}

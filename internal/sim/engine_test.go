@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(At(3), func() { got = append(got, 3) })
+	e.Schedule(At(1), func() { got = append(got, 1) })
+	e.Schedule(At(2), func() { got = append(got, 2) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != At(3) {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(At(1), func() { got = append(got, i) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulingFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var fired bool
+	e.Schedule(At(1), func() {
+		e.ScheduleIn(Seconds(1), func() { fired = true })
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("nested event did not fire")
+	}
+	if e.Now() != At(2) {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	var late bool
+	e.Schedule(At(1), func() {})
+	e.Schedule(At(5), func() { late = true })
+	if err := e.Run(At(2)); err != nil {
+		t.Fatal(err)
+	}
+	if late {
+		t.Fatal("event after horizon fired")
+	}
+	if e.Now() != At(2) {
+		t.Fatalf("Now = %v, want clamped to horizon 2s", e.Now())
+	}
+	if e.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	var fired bool
+	h := e.Schedule(At(1), func() { fired = true })
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(h) {
+		t.Fatal("double Cancel returned true")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var handles []Handle
+	for i := 0; i < 5; i++ {
+		i := i
+		handles = append(handles, e.Schedule(At(float64(i+1)), func() { got = append(got, i) }))
+	}
+	e.Cancel(handles[2])
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("fired %d events, want 4", len(got))
+	}
+	for _, v := range got {
+		if v == 2 {
+			t.Fatal("cancelled event fired")
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(At(5), func() {})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(At(1), func() {})
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(At(float64(i)), func() {
+			n++
+			if n == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", n)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 10
+	var tick func()
+	tick = func() { e.ScheduleIn(Second, tick) }
+	e.ScheduleIn(Second, tick)
+	if err := e.RunAll(); err == nil {
+		t.Fatal("runaway loop not caught by Limit")
+	}
+}
+
+func TestTimerResetStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(Seconds(1))
+	tm.Reset(Seconds(2)) // supersedes first arming
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (Reset must cancel prior arming)", fired)
+	}
+	if e.Now() != At(2) {
+		t.Fatalf("fired at %v, want 2s", e.Now())
+	}
+	tm.Reset(Seconds(1))
+	if !tm.Pending() {
+		t.Fatal("Pending = false after Reset")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for armed timer")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	tk := NewTicker(e, Seconds(2), func() { times = append(times, e.Now()) })
+	tk.Start()
+	if err := e.Run(At(7)); err != nil {
+		t.Fatal(err)
+	}
+	tk.Stop()
+	if len(times) != 3 {
+		t.Fatalf("ticks = %d, want 3 (at 2,4,6)", len(times))
+	}
+	for i, want := range []Time{At(2), At(4), At(6)} {
+		if times[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+func TestTickerStopFromWithinTick(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, Second, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	if err := e.Run(At(10)); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Intn(1000) == c.Intn(1000) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatal("different seeds look correlated")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(7)
+	f1 := g.Fork(1)
+	g2 := NewRNG(7)
+	f1b := g2.Fork(1)
+	for i := 0; i < 50; i++ {
+		if f1.Float64() != f1b.Float64() {
+			t.Fatal("fork with same lineage diverged")
+		}
+	}
+	// Forks with different ids should differ somewhere early.
+	x, y := NewRNG(7).Fork(1), NewRNG(7).Fork(2)
+	diff := false
+	for i := 0; i < 10; i++ {
+		if x.Float64() != y.Float64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("forks with different ids identical")
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	g := NewRNG(1)
+	f := func(lo, hi uint8) bool {
+		a, b := float64(lo), float64(lo)+float64(hi)+1
+		v := g.Uniform(a, b)
+		return v >= a && v < b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDurationUniform(t *testing.T) {
+	g := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		d := g.DurationUniform(Millis(5), Millis(10))
+		if d < Millis(5) || d >= Millis(10) {
+			t.Fatalf("DurationUniform out of range: %v", d)
+		}
+	}
+	if g.DurationUniform(Second, Second) != Second {
+		t.Fatal("degenerate range should return lo")
+	}
+	if g.Jitter(0) != 0 {
+		t.Fatal("Jitter(0) should be 0")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != Duration(1500000000) {
+		t.Fatalf("Seconds(1.5) = %d", Seconds(1.5))
+	}
+	if Millis(2) != Duration(2000000) {
+		t.Fatalf("Millis(2) = %d", Millis(2))
+	}
+	if Micros(3) != Duration(3000) {
+		t.Fatalf("Micros(3) = %d", Micros(3))
+	}
+	if At(2).Add(Seconds(0.5)) != At(2.5) {
+		t.Fatal("Add mismatch")
+	}
+	if At(3).Sub(At(1)) != Seconds(2) {
+		t.Fatal("Sub mismatch")
+	}
+	if s := At(1.25).String(); s != "1.250000s" {
+		t.Fatalf("String = %q", s)
+	}
+	if Never.String() != "never" {
+		t.Fatal("Never.String mismatch")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			e.ScheduleIn(Microsecond, next)
+		}
+	}
+	e.ScheduleIn(Microsecond, next)
+	b.ResetTimer()
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEngineRandomizedOrdering schedules thousands of events in random
+// order, with random cancellations and nested scheduling, and asserts
+// global timestamp-order dispatch.
+func TestEngineRandomizedOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		var fired []Time
+		var handles []Handle
+		for i := 0; i < 2000; i++ {
+			at := Time(r.Int63n(int64(Seconds(100))))
+			at2 := at
+			h := e.Schedule(at, func() {
+				fired = append(fired, at2)
+				if r.Intn(4) == 0 {
+					// Nested event strictly in the future.
+					nat := at2 + Time(1+r.Int63n(int64(Seconds(1))))
+					e.Schedule(nat, func() { fired = append(fired, nat) })
+				}
+			})
+			handles = append(handles, h)
+		}
+		// Cancel a random 10%.
+		for i := 0; i < 200; i++ {
+			e.Cancel(handles[r.Intn(len(handles))])
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				t.Fatalf("trial %d: out-of-order dispatch at %d: %v after %v",
+					trial, i, fired[i], fired[i-1])
+			}
+		}
+		if len(fired) < 1800 {
+			t.Fatalf("trial %d: only %d events fired", trial, len(fired))
+		}
+	}
+}
+
+// TestEngineManyTimers exercises heavy Reset/Stop churn (protocol-style
+// usage) without leaks: after everything settles the queue must be empty.
+func TestEngineManyTimers(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(3))
+	timers := make([]*Timer, 50)
+	firings := 0
+	for i := range timers {
+		timers[i] = NewTimer(e, func() { firings++ })
+	}
+	for round := 0; round < 200; round++ {
+		at := Time(r.Int63n(int64(Seconds(10))))
+		e.Schedule(at, func() {
+			tm := timers[r.Intn(len(timers))]
+			switch r.Intn(3) {
+			case 0:
+				tm.Reset(Duration(r.Int63n(int64(Second))))
+			case 1:
+				tm.Stop()
+			case 2:
+				tm.Reset(Duration(r.Int63n(int64(Second))))
+				tm.Reset(Duration(r.Int63n(int64(Second))))
+			}
+		})
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("queue leaked %d events", e.Len())
+	}
+	if firings == 0 {
+		t.Fatal("no timer ever fired")
+	}
+}

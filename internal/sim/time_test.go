@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDurationScale(t *testing.T) {
+	if Second.Scale(0.5) != 500*Millisecond {
+		t.Fatalf("Scale = %v", Second.Scale(0.5))
+	}
+	if Second.Scale(2) != 2*Second {
+		t.Fatal("Scale(2)")
+	}
+}
+
+func TestDurationStd(t *testing.T) {
+	if Second.Std() != time.Second {
+		t.Fatal("Std conversion")
+	}
+	if Millis(1.5).Std() != 1500*time.Microsecond {
+		t.Fatal("fractional millis")
+	}
+}
+
+func TestTimeOrderingProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		ta, tb := Time(a), Time(b)
+		if ta.Before(tb) && tb.Before(ta) {
+			return false
+		}
+		if ta.Before(tb) {
+			return tb.After(ta)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(base int32, delta int32) bool {
+		t0 := Time(base)
+		d := Duration(delta)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationStringSmoke(t *testing.T) {
+	if Second.String() == "" || Millis(5).String() == "" {
+		t.Fatal("empty duration strings")
+	}
+}

@@ -1,0 +1,186 @@
+// Package topo provides a global-knowledge connectivity oracle over node
+// positions: snapshot graphs, BFS hop counts (the "optimal path length" in
+// the path-optimality metric) and partition checks for scenario validation.
+// Routing protocols never see this information; only the measurement layer
+// and scenario generator use it.
+package topo
+
+import (
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/sim"
+)
+
+// Graph is a snapshot connectivity graph: adj[i] lists the neighbours of i.
+type Graph struct {
+	adj [][]int32
+}
+
+// Snapshot builds the connectivity graph at time t: an edge exists between
+// two nodes iff their distance is at most radioRange.
+func Snapshot(tracks []*mobility.Track, t sim.Time, radioRange float64) *Graph {
+	n := len(tracks)
+	g := &Graph{adj: make([][]int32, n)}
+	r2 := radioRange * radioRange
+	pts := make([]struct{ x, y float64 }, n)
+	for i, tr := range tracks {
+		p := tr.At(t)
+		pts[i] = struct{ x, y float64 }{p.X, p.Y}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+			if dx*dx+dy*dy <= r2 {
+				g.adj[i] = append(g.adj[i], int32(j))
+				g.adj[j] = append(g.adj[j], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Neighbors returns the adjacency list of node i (not a copy).
+func (g *Graph) Neighbors(i int32) []int32 { return g.adj[i] }
+
+// Degree returns the number of neighbours of node i.
+func (g *Graph) Degree(i int32) int { return len(g.adj[i]) }
+
+// HopDist returns the BFS hop count from src to dst, or -1 if unreachable.
+func (g *Graph) HopDist(src, dst int32) int {
+	if src == dst {
+		return 0
+	}
+	dist := g.BFS(src)
+	return dist[dst]
+}
+
+// BFS returns hop distances from src to every node (-1 when unreachable).
+func (g *Graph) BFS(src int32) []int {
+	n := len(g.adj)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the whole graph is one component.
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the number of connected components.
+func (g *Graph) Components() int {
+	n := len(g.adj)
+	seen := make([]bool, n)
+	comps := 0
+	for s := int32(0); int(s) < n; s++ {
+		if seen[s] {
+			continue
+		}
+		comps++
+		stack := []int32{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// AvgDegree returns the mean node degree (a density diagnostic).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return float64(total) / float64(len(g.adj))
+}
+
+// Oracle answers hop-distance queries against a mobility scenario, caching
+// the snapshot graph and memoising BFS trees until the snapshot time moves
+// by more than resolution (default 1 s). Traffic layers call it once per
+// originated packet, so caching matters.
+type Oracle struct {
+	tracks     []*mobility.Track
+	radioRange float64
+	resolution sim.Duration
+
+	snapAt  sim.Time
+	snap    *Graph
+	bfsFrom map[int32][]int
+	valid   bool
+}
+
+// NewOracle creates an oracle for the given tracks and radio range.
+func NewOracle(tracks []*mobility.Track, radioRange float64) *Oracle {
+	return &Oracle{
+		tracks:     tracks,
+		radioRange: radioRange,
+		resolution: sim.Second,
+		bfsFrom:    make(map[int32][]int),
+	}
+}
+
+// GraphAt returns the (cached) snapshot graph near time t.
+func (o *Oracle) GraphAt(t sim.Time) *Graph {
+	o.refresh(t)
+	return o.snap
+}
+
+func (o *Oracle) refresh(t sim.Time) {
+	if o.valid && t.Sub(o.snapAt) < o.resolution && t >= o.snapAt {
+		return
+	}
+	o.snap = Snapshot(o.tracks, t, o.radioRange)
+	o.snapAt = t
+	o.valid = true
+	for k := range o.bfsFrom {
+		delete(o.bfsFrom, k)
+	}
+}
+
+// HopDist returns the BFS hop distance from src to dst near time t
+// (-1 when partitioned).
+func (o *Oracle) HopDist(t sim.Time, src, dst int32) int {
+	o.refresh(t)
+	tree, ok := o.bfsFrom[src]
+	if !ok {
+		tree = o.snap.BFS(src)
+		o.bfsFrom[src] = tree
+	}
+	return tree[dst]
+}

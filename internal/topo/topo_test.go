@@ -1,0 +1,138 @@
+package topo
+
+import (
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/sim"
+)
+
+func chainGraph(n int, spacing, rng float64) *Graph {
+	return Snapshot(mobility.Chain(n, spacing), 0, rng)
+}
+
+func TestChainConnectivity(t *testing.T) {
+	g := chainGraph(5, 200, 250)
+	for i := int32(0); i < 5; i++ {
+		wantDeg := 2
+		if i == 0 || i == 4 {
+			wantDeg = 1
+		}
+		if g.Degree(i) != wantDeg {
+			t.Fatalf("node %d degree = %d, want %d", i, g.Degree(i), wantDeg)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("chain should be connected")
+	}
+	if d := g.HopDist(0, 4); d != 4 {
+		t.Fatalf("HopDist(0,4) = %d, want 4", d)
+	}
+	if d := g.HopDist(2, 2); d != 0 {
+		t.Fatalf("HopDist(self) = %d", d)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	// Two clusters far apart.
+	tracks := []*mobility.Track{
+		mobility.Static(geo.Pt(0, 0)),
+		mobility.Static(geo.Pt(100, 0)),
+		mobility.Static(geo.Pt(5000, 0)),
+		mobility.Static(geo.Pt(5100, 0)),
+	}
+	g := Snapshot(tracks, 0, 250)
+	if g.Connected() {
+		t.Fatal("partitioned graph reported connected")
+	}
+	if c := g.Components(); c != 2 {
+		t.Fatalf("components = %d, want 2", c)
+	}
+	if d := g.HopDist(0, 2); d != -1 {
+		t.Fatalf("HopDist across partition = %d, want -1", d)
+	}
+}
+
+func TestRangeBoundaryInclusive(t *testing.T) {
+	tracks := []*mobility.Track{
+		mobility.Static(geo.Pt(0, 0)),
+		mobility.Static(geo.Pt(250, 0)),
+		mobility.Static(geo.Pt(500.5, 0)),
+	}
+	g := Snapshot(tracks, 0, 250)
+	if g.Degree(0) != 1 {
+		t.Fatal("edge exactly at range missing")
+	}
+	if g.HopDist(1, 2) != -1 {
+		t.Fatal("edge slightly beyond range present")
+	}
+}
+
+func TestSnapshotTracksMovement(t *testing.T) {
+	tracks := []*mobility.Track{
+		mobility.Static(geo.Pt(0, 0)),
+		mobility.MustTrack([]mobility.Segment{
+			{Start: 0, From: geo.Pt(200, 0), To: geo.Pt(1000, 0), Speed: 100},
+		}),
+	}
+	if !Snapshot(tracks, 0, 250).Connected() {
+		t.Fatal("should be connected at t=0")
+	}
+	if Snapshot(tracks, sim.At(5), 250).Connected() {
+		t.Fatal("should be partitioned at t=5 (node at 700 m)")
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := chainGraph(6, 100, 150)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if d[i] != want {
+			t.Fatalf("BFS[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := chainGraph(3, 100, 150)
+	// Degrees 1,2,1 → mean 4/3.
+	if got := g.AvgDegree(); got < 1.32 || got > 1.34 {
+		t.Fatalf("AvgDegree = %v", got)
+	}
+}
+
+func TestOracleCachingAndRefresh(t *testing.T) {
+	tracks := []*mobility.Track{
+		mobility.Static(geo.Pt(0, 0)),
+		mobility.MustTrack([]mobility.Segment{
+			{Start: 0, From: geo.Pt(200, 0), To: geo.Pt(2000, 0), Speed: 100},
+		}),
+	}
+	o := NewOracle(tracks, 250)
+	if d := o.HopDist(0, 0, 1); d != 1 {
+		t.Fatalf("t=0 dist = %d", d)
+	}
+	// Within the cache resolution the snapshot must be reused.
+	if d := o.HopDist(sim.At(0.5), 0, 1); d != 1 {
+		t.Fatalf("cached dist = %d", d)
+	}
+	// Far later the link is gone.
+	if d := o.HopDist(sim.At(10), 0, 1); d != -1 {
+		t.Fatalf("t=10 dist = %d, want -1", d)
+	}
+	g := o.GraphAt(sim.At(10))
+	if g.Connected() {
+		t.Fatal("stale graph returned")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Snapshot(nil, 0, 250)
+	if !g.Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+	if g.Components() != 0 || g.N() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("empty graph invariants")
+	}
+}

@@ -1,0 +1,134 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/routing/flood"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+	"adhocsim/internal/trace"
+)
+
+func mkEvent(op trace.Op) trace.Event {
+	p := pkt.DataPacket(1, 2, 7, 64, sim.At(1))
+	return trace.Event{Op: op, At: sim.At(2), Node: 3, Pkt: p, Peer: 4}
+}
+
+func TestFormatSend(t *testing.T) {
+	line := trace.Format(mkEvent(trace.OpSend))
+	for _, want := range []string{"s 2.000000000", "_3_", "data", "[n1 -> n2]", "via n4", "ttl 32"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestFormatDrop(t *testing.T) {
+	ev := mkEvent(trace.OpDrop)
+	ev.Reason = stats.DropNoRoute
+	line := trace.Format(ev)
+	if !strings.Contains(line, "D 2.000000000") || !strings.Contains(line, "no-route") {
+		t.Fatalf("drop line %q", line)
+	}
+}
+
+func TestFormatDeliverIncludesDelay(t *testing.T) {
+	line := trace.Format(mkEvent(trace.OpDeliver))
+	if !strings.Contains(line, "delay 1.000000") {
+		t.Fatalf("deliver line %q lacks delay", line)
+	}
+}
+
+func TestFormatSourceRoute(t *testing.T) {
+	ev := mkEvent(trace.OpSend)
+	ev.Pkt.SrcRoute = []pkt.NodeID{1, 3, 2}
+	line := trace.Format(ev)
+	if !strings.Contains(line, "sr=1,3,2") {
+		t.Fatalf("line %q lacks source route", line)
+	}
+}
+
+func TestFormatRoutingLabel(t *testing.T) {
+	ev := mkEvent(trace.OpRecv)
+	ev.Pkt = pkt.RoutingPacket("RREQ", 1, pkt.Broadcast, 5, 24, 0)
+	line := trace.Format(ev)
+	if !strings.Contains(line, "RREQ") || !strings.Contains(line, "bcast") {
+		t.Fatalf("routing line %q", line)
+	}
+}
+
+func TestWriterFilterAndCount(t *testing.T) {
+	var sb strings.Builder
+	w := trace.NewWriter(&sb)
+	w.Filter = func(ev trace.Event) bool { return ev.Op == trace.OpDrop }
+	w.Trace(mkEvent(trace.OpSend))
+	ev := mkEvent(trace.OpDrop)
+	ev.Reason = stats.DropTTL
+	w.Trace(ev)
+	if w.Lines() != 1 {
+		t.Fatalf("lines = %d, want 1 (filtered)", w.Lines())
+	}
+	if !strings.Contains(sb.String(), "ttl-expired") {
+		t.Fatalf("output %q", sb.String())
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+}
+
+func TestCounterAndMulti(t *testing.T) {
+	var c1, c2 trace.Counter
+	m := trace.Multi{&c1, &c2}
+	m.Trace(mkEvent(trace.OpSend))
+	m.Trace(mkEvent(trace.OpRecv))
+	m.Trace(mkEvent(trace.OpDeliver))
+	if c1.Sends != 1 || c1.Recvs != 1 || c1.Delivers != 1 || c1.Drops != 0 {
+		t.Fatalf("counter = %+v", c1)
+	}
+	if c2 != c1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+// TestEndToEndTracing wires a tracer into a world and checks events flow.
+func TestEndToEndTracing(t *testing.T) {
+	var sb strings.Builder
+	wr := trace.NewWriter(&sb)
+	cnt := &trace.Counter{}
+	w, err := network.NewWorld(network.Config{
+		Tracks:   mobility.Chain(3, 200),
+		Radio:    phy.DefaultParams(),
+		Protocol: flood.Factory(flood.Config{}),
+		Seed:     1,
+		Tracer:   trace.Multi{wr, cnt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Node(2).SetSink(func(*pkt.Packet, pkt.NodeID) {})
+	w.Start()
+	w.Eng.Schedule(sim.At(1), func() {
+		w.Node(0).Originate(pkt.DataPacket(0, 2, 0, 64, sim.At(1)))
+	})
+	if err := w.Run(sim.At(3)); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Sends == 0 || cnt.Recvs == 0 || cnt.Delivers != 1 {
+		t.Fatalf("counter = %+v", cnt)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "s 1.000000000 _0_") {
+		t.Fatalf("missing origination line:\n%s", out)
+	}
+	if !strings.Contains(out, "d ") {
+		t.Fatalf("missing delivery line:\n%s", out)
+	}
+	if wr.Lines() == 0 {
+		t.Fatal("no lines written")
+	}
+}

@@ -1,0 +1,141 @@
+// Package traffic provides the constant-bit-rate UDP workload of the study
+// (ns-2 "cbrgen"): each connection sends fixed-size packets at a fixed rate
+// from a staggered start time, and the sink side performs duplicate
+// suppression and feeds the metrics collector.
+package traffic
+
+import (
+	"fmt"
+
+	"adhocsim/internal/network"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+)
+
+// Connection is one CBR flow.
+type Connection struct {
+	Src, Dst pkt.NodeID
+	// Rate in packets per second.
+	Rate float64
+	// PayloadBytes per packet (64 in the study).
+	PayloadBytes int
+	// Start is when the flow begins; Stop (0 = never) ends it.
+	Start sim.Time
+	Stop  sim.Time
+}
+
+// Validate sanity-checks the connection against a node count.
+func (c Connection) Validate(numNodes int) error {
+	if c.Src == c.Dst {
+		return fmt.Errorf("traffic: connection %v->%v is a self-loop", c.Src, c.Dst)
+	}
+	if int(c.Src) < 0 || int(c.Src) >= numNodes || int(c.Dst) < 0 || int(c.Dst) >= numNodes {
+		return fmt.Errorf("traffic: connection %v->%v out of range (%d nodes)", c.Src, c.Dst, numNodes)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("traffic: non-positive rate %v", c.Rate)
+	}
+	if c.PayloadBytes <= 0 {
+		return fmt.Errorf("traffic: non-positive payload %d", c.PayloadBytes)
+	}
+	return nil
+}
+
+// Source drives one connection on its source node.
+type Source struct {
+	conn Connection
+	node *network.Node
+	seq  uint32
+	tick *sim.Ticker
+}
+
+// Install wires connections and sinks into the world: every destination node
+// gets a deduplicating sink, every source a CBR generator. It returns the
+// sources (mainly for tests).
+func Install(w *network.World, conns []Connection, horizon sim.Time) ([]*Source, error) {
+	sinks := make(map[pkt.NodeID]*Sink)
+	var sources []*Source
+	for _, cn := range conns {
+		if err := cn.Validate(len(w.Nodes)); err != nil {
+			return nil, err
+		}
+		if _, ok := sinks[cn.Dst]; !ok {
+			s := NewSink(w)
+			sinks[cn.Dst] = s
+			w.Node(cn.Dst).SetSink(s.Accept)
+		}
+		sources = append(sources, NewSource(w, cn, horizon))
+	}
+	return sources, nil
+}
+
+// NewSource schedules a CBR generator for conn on its source node.
+func NewSource(w *network.World, conn Connection, horizon sim.Time) *Source {
+	node := w.Node(conn.Src)
+	s := &Source{conn: conn, node: node}
+	interval := sim.Seconds(1 / conn.Rate)
+	s.tick = sim.NewTicker(w.Eng, interval, func() {
+		now := w.Eng.Now()
+		if conn.Stop != 0 && now.After(conn.Stop) {
+			s.tick.Stop()
+			return
+		}
+		if now.After(horizon) {
+			s.tick.Stop()
+			return
+		}
+		p := pkt.DataPacket(conn.Src, conn.Dst, s.seq, conn.PayloadBytes, now)
+		s.seq++
+		node.Originate(p)
+	})
+	// First packet at Start exactly; subsequent at the CBR interval.
+	w.Eng.Schedule(conn.Start, func() {
+		now := w.Eng.Now()
+		if conn.Stop != 0 && now.After(conn.Stop) {
+			return
+		}
+		p := pkt.DataPacket(conn.Src, conn.Dst, s.seq, conn.PayloadBytes, now)
+		s.seq++
+		node.Originate(p)
+		s.tick.Start()
+	})
+	return s
+}
+
+// Sent reports how many packets this source has originated.
+func (s *Source) Sent() uint32 { return s.seq }
+
+// Sink accepts data packets at a destination node, suppressing duplicates
+// per flow.
+type Sink struct {
+	w    *network.World
+	seen map[flowKey]map[uint32]struct{}
+	n    uint64
+}
+
+type flowKey struct{ src pkt.NodeID }
+
+// NewSink creates a sink bound to the world's collector.
+func NewSink(w *network.World) *Sink {
+	return &Sink{w: w, seen: make(map[flowKey]map[uint32]struct{})}
+}
+
+// Accept implements network.SinkFunc.
+func (s *Sink) Accept(p *pkt.Packet, from pkt.NodeID) {
+	k := flowKey{src: p.Src}
+	m, ok := s.seen[k]
+	if !ok {
+		m = make(map[uint32]struct{})
+		s.seen[k] = m
+	}
+	if _, dup := m[p.Seq]; dup {
+		s.w.Collector.OnDataDelivered(p, s.w.Eng.Now(), true)
+		return
+	}
+	m[p.Seq] = struct{}{}
+	s.n++
+	s.w.Collector.OnDataDelivered(p, s.w.Eng.Now(), false)
+}
+
+// Received reports unique packets accepted.
+func (s *Sink) Received() uint64 { return s.n }
