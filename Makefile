@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: verify fmt vet build test figs
+
+## verify: the tier-1 gate — formatting, vet, build, tests.
+verify: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## figs: regenerate the scaled evaluation figures (text + CSV + JSON).
+figs:
+	$(GO) run ./cmd/adhocfigs -json

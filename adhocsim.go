@@ -26,15 +26,49 @@
 //	})
 //	fmt.Printf("PDR %.1f%%  delay %.1f ms\n", res.PDR*100, res.AvgDelay*1e3)
 //
-// Deeper customisation (custom mobility models, protocol ablations, raw
-// world wiring) is available through the internal packages for code living
-// in this module; the facade covers the published study surface.
+// # Experiment API v2
+//
+// The harness is open on three axes:
+//
+// Protocols resolve through a registry. The built-ins self-register; call
+// RegisterProtocol to plug in a new routing protocol or ablation variant —
+// it then works everywhere a built-in does (Run, Compare, sweeps, the cmd
+// tools):
+//
+//	adhocsim.RegisterProtocol("MYPROTO", func(bc adhocsim.BuildContext) (adhocsim.ProtocolFactory, error) {
+//		return func(id adhocsim.NodeID) adhocsim.Protocol { return newMyProto(id) }, nil
+//	})
+//
+// Scenario dimensions are swept through first-class Axis values. The
+// catalogue (PauseAxis, NodesAxis, RateAxis, SpeedAxis, SourcesAxis,
+// TxRangeAxis, CSRangeAxis, AreaWidthAxis, PayloadAxis) covers the study
+// axes plus radio and traffic dimensions the study never varied, and a
+// custom Apply function sweeps anything else:
+//
+//	sweep, err := adhocsim.Sweep(ctx, opts, adhocsim.TxRangeAxis(nil))
+//	grid, err := adhocsim.Grid(ctx, opts, adhocsim.TxRangeAxis(nil), adhocsim.RateAxis(nil))
+//
+// Long experiments are cancellable and observable: every runner threads a
+// context.Context down into the event loop (cancellation aborts promptly
+// with ctx.Err()), and Options.OnProgress receives a callback after every
+// completed run. Results, sweeps, grids and figures all export to JSON
+// (ResultsJSON, SweepJSON, GridJSON, FigureJSON) alongside the text and
+// CSV renders.
+//
+// The v1 helpers (Run without a context, PauseSweep and friends) remain as
+// thin wrappers over the v2 API.
 package adhocsim
 
 import (
+	"context"
+	"io"
+
 	"adhocsim/internal/core"
 	"adhocsim/internal/geo"
 	"adhocsim/internal/mac"
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
@@ -56,6 +90,18 @@ func StudyProtocols() []string { return core.StudyProtocols() }
 // AllProtocols additionally includes the flooding baseline.
 func AllProtocols() []string { return core.AllProtocols() }
 
+// RegisteredProtocols returns every protocol name the registry resolves,
+// built-ins and external registrations alike, sorted.
+func RegisteredProtocols() []string { return core.RegisteredProtocols() }
+
+// RegisterProtocol plugs a new routing protocol (or ablation variant) into
+// the harness under the given case-insensitive name. Once registered it is
+// accepted everywhere a built-in is: Run, Compare, Sweep, Grid and the cmd
+// tools. Registering a duplicate or empty name is an error.
+func RegisterProtocol(name string, builder ProtocolBuilder) error {
+	return core.RegisterProtocol(name, builder)
+}
+
 // Spec describes a scenario; see DefaultSpec for the study configuration.
 type Spec = scenario.Spec
 
@@ -68,17 +114,63 @@ type Results = stats.Results
 // RunConfig identifies one simulation run.
 type RunConfig = core.RunConfig
 
-// Options configures comparisons and sweeps.
+// Options configures comparisons and sweeps (protocol set, seeds, workers,
+// progress callback).
 type Options = core.Options
+
+// Progress reports one completed run inside a sweep; see Options.OnProgress.
+type Progress = core.Progress
+
+// ProgressFunc observes sweep progress; see Options.OnProgress.
+type ProgressFunc = core.ProgressFunc
+
+// ProgressPrinter returns a ProgressFunc rendering a single updating
+// progress line to w (typically os.Stderr).
+func ProgressPrinter(w io.Writer) ProgressFunc { return core.ProgressPrinter(w) }
+
+// Axis is one sweepable scenario dimension; see the axis catalogue
+// (PauseAxis and friends) and AxisByName.
+type Axis = core.Axis
 
 // SweepResult holds per-protocol results along a swept axis.
 type SweepResult = core.SweepResult
+
+// GridResult holds per-protocol results over a multi-axis cross product.
+type GridResult = core.GridResult
 
 // Figure is a sweep viewed through one metric, ready to render.
 type Figure = core.Figure
 
 // MacConfig tunes the 802.11 MAC (queue limit, RTS threshold).
 type MacConfig = mac.Config
+
+// Protocol-extension surface: the types an external routing protocol
+// implements against, re-exported so registrations need no internal
+// imports.
+type (
+	// Protocol is a routing agent bound to one node.
+	Protocol = network.Protocol
+	// Env is the node-side API a routing protocol programs against.
+	Env = network.Env
+	// ProtocolFactory builds the routing agent for each node.
+	ProtocolFactory = network.ProtocolFactory
+	// BuildContext carries per-run inputs (radio parameters, tweaks) to a
+	// protocol builder.
+	BuildContext = core.BuildContext
+	// ProtocolBuilder constructs a factory for one run; see RegisterProtocol.
+	ProtocolBuilder = core.ProtocolBuilder
+	// NodeID identifies a node.
+	NodeID = pkt.NodeID
+	// Packet is the network-layer packet model.
+	Packet = pkt.Packet
+	// RadioParams are the physical-layer parameters of a scenario.
+	RadioParams = phy.RadioParams
+	// DropReason labels packet losses in the drop census.
+	DropReason = stats.DropReason
+)
+
+// Broadcast is the link/network broadcast address.
+const Broadcast = pkt.Broadcast
 
 // Duration and Time re-export the virtual-clock types used in Spec.
 type (
@@ -101,38 +193,82 @@ func DefaultSpec() Spec { return scenario.Default() }
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Run executes one scenario×protocol×seed simulation.
-func Run(rc RunConfig) (Results, error) { return core.Run(rc) }
+func Run(rc RunConfig) (Results, error) { return core.Run(context.Background(), rc) }
+
+// RunContext is Run with cancellation: the context is polled inside the
+// event loop, so cancelling it aborts a long simulation promptly.
+func RunContext(ctx context.Context, rc RunConfig) (Results, error) { return core.Run(ctx, rc) }
 
 // RunReplicated executes rc once per seed (in parallel) and merges results.
 func RunReplicated(rc RunConfig, seeds []int64, workers int) (Results, error) {
-	return core.RunReplicated(rc, seeds, workers)
+	return core.RunReplicated(context.Background(), rc, seeds, workers)
+}
+
+// RunReplicatedContext is RunReplicated with cancellation.
+func RunReplicatedContext(ctx context.Context, rc RunConfig, seeds []int64, workers int) (Results, error) {
+	return core.RunReplicated(ctx, rc, seeds, workers)
 }
 
 // Compare runs every protocol in opts on the base scenario (pause time as
 // configured) and returns per-protocol results.
 func Compare(opts Options) (map[string]Results, error) {
-	return core.SummaryTable(opts)
+	return core.SummaryTable(context.Background(), opts)
 }
+
+// CompareContext is Compare with cancellation.
+func CompareContext(ctx context.Context, opts Options) (map[string]Results, error) {
+	return core.SummaryTable(ctx, opts)
+}
+
+// Sweep evaluates every protocol at every value of one axis, in parallel,
+// merging replication seeds per point. Any Spec dimension an Axis can
+// Apply is sweepable.
+func Sweep(ctx context.Context, opts Options, axis Axis) (*SweepResult, error) {
+	return core.Sweep(ctx, opts, axis)
+}
+
+// Grid evaluates every protocol at every combination of several axes (full
+// cross product) on one shared worker pool.
+func Grid(ctx context.Context, opts Options, axes ...Axis) (*GridResult, error) {
+	return core.Grid(ctx, opts, axes...)
+}
+
+// The axis catalogue. Each constructor accepts explicit values; nil selects
+// canonical defaults.
+func PauseAxis(vs []float64) Axis     { return core.PauseAxis(vs) }
+func NodesAxis(vs []float64) Axis     { return core.NodesAxis(vs) }
+func RateAxis(vs []float64) Axis      { return core.RateAxis(vs) }
+func SpeedAxis(vs []float64) Axis     { return core.SpeedAxis(vs) }
+func SourcesAxis(vs []float64) Axis   { return core.SourcesAxis(vs) }
+func TxRangeAxis(vs []float64) Axis   { return core.TxRangeAxis(vs) }
+func CSRangeAxis(vs []float64) Axis   { return core.CSRangeAxis(vs) }
+func AreaWidthAxis(vs []float64) Axis { return core.AreaWidthAxis(vs) }
+func PayloadAxis(vs []float64) Axis   { return core.PayloadAxis(vs) }
+
+// AxisByName resolves a catalogue axis by CLI-friendly name ("txrange",
+// "pause", …); AxisNames lists them.
+func AxisByName(name string, vs []float64) (Axis, error) { return core.AxisByName(name, vs) }
+func AxisNames() []string                                { return core.AxisNames() }
 
 // PauseSweep sweeps pause time (mobility), the axis of Figures 1–4.
 // A nil pauses slice selects the Broch-style defaults.
 func PauseSweep(opts Options, pauses []float64) (*SweepResult, error) {
-	return core.PauseSweep(opts, pauses)
+	return core.PauseSweep(context.Background(), opts, pauses)
 }
 
 // DensitySweep sweeps the node count (Figure 6).
 func DensitySweep(opts Options, nodes []float64) (*SweepResult, error) {
-	return core.DensitySweep(opts, nodes)
+	return core.DensitySweep(context.Background(), opts, nodes)
 }
 
 // LoadSweep sweeps the offered load in packets/s (Figure 7).
 func LoadSweep(opts Options, rates []float64) (*SweepResult, error) {
-	return core.LoadSweep(opts, rates)
+	return core.LoadSweep(context.Background(), opts, rates)
 }
 
 // SpeedSweep sweeps maximum node speed (Figure 8).
 func SpeedSweep(opts Options, speeds []float64) (*SweepResult, error) {
-	return core.SpeedSweep(opts, speeds)
+	return core.SpeedSweep(context.Background(), opts, speeds)
 }
 
 // RenderFigure renders a figure as an aligned text table.
@@ -140,6 +276,12 @@ func RenderFigure(f Figure) string { return core.RenderFigure(f) }
 
 // RenderFigureCSV renders a figure as CSV.
 func RenderFigureCSV(f Figure) string { return core.RenderFigureCSV(f) }
+
+// JSON exports, alongside the text/CSV renders.
+func ResultsJSON(r Results) ([]byte, error)     { return core.ResultsJSON(r) }
+func SweepJSON(sr *SweepResult) ([]byte, error) { return core.SweepJSON(sr) }
+func GridJSON(g *GridResult) ([]byte, error)    { return core.GridJSON(g) }
+func FigureJSON(f Figure) ([]byte, error)       { return core.FigureJSON(f) }
 
 // Metrics available for figure rendering.
 var (

@@ -1,8 +1,12 @@
 package adhocsim_test
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"adhocsim"
 )
@@ -107,6 +111,151 @@ func TestFacadeErrorPropagation(t *testing.T) {
 	opts.Base = bad
 	if _, err := adhocsim.PauseSweep(opts, []float64{0}); err == nil {
 		t.Fatal("sweep swallowed the error")
+	}
+}
+
+// stubFlood is a minimal routing protocol implemented purely against the
+// facade's extension surface (no internal imports): TTL-scoped flooding
+// with duplicate suppression. It exists to prove that a protocol registered
+// from outside internal/core runs through Run and Compare like a built-in.
+type stubFlood struct {
+	env  adhocsim.Env
+	seen map[uint64]bool
+}
+
+func (s *stubFlood) key(p *adhocsim.Packet) uint64 {
+	return uint64(p.Src)<<32 | uint64(p.Seq)
+}
+
+func (s *stubFlood) Start(env adhocsim.Env) {
+	s.env = env
+	s.seen = make(map[uint64]bool)
+}
+
+func (s *stubFlood) SendData(p *adhocsim.Packet) {
+	s.seen[s.key(p)] = true
+	s.env.SendMac(p, adhocsim.Broadcast)
+}
+
+func (s *stubFlood) Recv(p *adhocsim.Packet, from adhocsim.NodeID, _ float64) {
+	if s.seen[s.key(p)] {
+		return
+	}
+	s.seen[s.key(p)] = true
+	p.Hops++
+	if p.Dst == s.env.ID() {
+		s.env.Deliver(p, from)
+		return
+	}
+	p.TTL--
+	if p.Expired() {
+		s.env.Drop(p, adhocsim.DropReason("stub-ttl"))
+		return
+	}
+	s.env.SendMac(p.Clone(), adhocsim.Broadcast)
+}
+
+func (s *stubFlood) Snoop(*adhocsim.Packet, adhocsim.NodeID, adhocsim.NodeID, float64) {}
+func (s *stubFlood) MacSent(*adhocsim.Packet, adhocsim.NodeID)                         {}
+func (s *stubFlood) MacFailed(*adhocsim.Packet, adhocsim.NodeID)                       {}
+
+func registered(name string) bool {
+	for _, p := range adhocsim.RegisteredProtocols() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegisterProtocolRoundTrip(t *testing.T) {
+	const name = "STUBFLOOD"
+	stubBuilder := func(adhocsim.BuildContext) (adhocsim.ProtocolFactory, error) {
+		return func(adhocsim.NodeID) adhocsim.Protocol { return &stubFlood{} }, nil
+	}
+	// The registry is process-global and append-only, so under
+	// `go test -count=N` the stub persists across iterations.
+	if !registered(name) {
+		if err := adhocsim.RegisterProtocol(name, stubBuilder); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := adhocsim.RegisterProtocol(name, stubBuilder); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if !registered(name) {
+		t.Fatalf("%s missing from RegisteredProtocols", name)
+	}
+
+	// The registered protocol runs through Run like a built-in…
+	res, err := adhocsim.Run(adhocsim.RunConfig{Spec: smallSpec(), Protocol: name, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent == 0 || res.DataDelivered == 0 {
+		t.Fatalf("stub protocol moved no traffic: %+v", res)
+	}
+
+	// …and appears in Compare output next to the study protocols.
+	opts := adhocsim.DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Protocols = []string{adhocsim.DSR, name}
+	opts.Seeds = []int64{1}
+	cmp, err := adhocsim.Compare(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cmp[name]; !ok {
+		t.Fatalf("Compare output missing %s: %v", name, cmp)
+	}
+	if cmp[name].DataSent == 0 {
+		t.Fatalf("%s sent nothing in Compare", name)
+	}
+}
+
+// TestFacadeTxRangeSweep sweeps an axis the v1 facade could not express.
+func TestFacadeTxRangeSweep(t *testing.T) {
+	opts := adhocsim.DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Protocols = []string{adhocsim.DSR}
+	opts.Seeds = []int64{1}
+	sweep, err := adhocsim.Sweep(context.Background(), opts, adhocsim.TxRangeAxis([]float64{150, 250}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.XLabel != "txrange_m" || len(sweep.Cells[adhocsim.DSR]) != 2 {
+		t.Fatalf("sweep = %+v", sweep)
+	}
+	b, err := adhocsim.SweepJSON(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("SweepJSON produced invalid JSON:\n%s", b)
+	}
+	fig := adhocsim.Figure{ID: "tx", Title: "PDR vs range", Metric: adhocsim.MetricPDR, Sweep: sweep}
+	fb, err := adhocsim.FigureJSON(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fb), "txrange_m") {
+		t.Fatalf("figure JSON missing axis label:\n%s", fb)
+	}
+}
+
+func TestFacadeSweepCancellation(t *testing.T) {
+	opts := adhocsim.DefaultOptions()
+	opts.Protocols = []string{adhocsim.DSR}
+	opts.Seeds = []int64{1, 2, 3}
+	opts.Base.Duration = 600 * adhocsim.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := adhocsim.Sweep(ctx, opts, adhocsim.PauseAxis([]float64{0, 600}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

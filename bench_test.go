@@ -9,6 +9,7 @@
 package adhocsim_test
 
 import (
+	"context"
 	"testing"
 
 	"adhocsim"
@@ -50,7 +51,7 @@ func runPauseSweep(b *testing.B, opts core.Options) *core.SweepResult {
 	var sweep *core.SweepResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		sweep, err = core.PauseSweep(opts, benchPauses)
+		sweep, err = core.PauseSweep(context.Background(), opts, benchPauses)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkFig4_ThroughputVsPause(b *testing.B) {
 func BenchmarkFig5_PathOptimality(b *testing.B) {
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
-		hist, err := core.PathOptimality(opts)
+		hist, err := core.PathOptimality(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func BenchmarkFig6_Density(b *testing.B) {
 	var sweep *core.SweepResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		sweep, err = core.DensitySweep(opts, []float64{10, 20, 30})
+		sweep, err = core.DensitySweep(context.Background(), opts, []float64{10, 20, 30})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func BenchmarkFig7_Load(b *testing.B) {
 	var sweep *core.SweepResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		sweep, err = core.LoadSweep(opts, []float64{1, 4, 8})
+		sweep, err = core.LoadSweep(context.Background(), opts, []float64{1, 4, 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func BenchmarkFig8_Speed(b *testing.B) {
 	var sweep *core.SweepResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		sweep, err = core.SpeedSweep(opts, []float64{1, 10, 20})
+		sweep, err = core.SpeedSweep(context.Background(), opts, []float64{1, 10, 20})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func BenchmarkFig8_Speed(b *testing.B) {
 func BenchmarkTable1_Summary(b *testing.B) {
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
-		sum, err := core.SummaryTable(opts)
+		sum, err := core.SummaryTable(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func BenchmarkTable1_Summary(b *testing.B) {
 func BenchmarkTable2_Breakdown(b *testing.B) {
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
-		sum, err := core.SummaryTable(opts)
+		sum, err := core.SummaryTable(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,7 +209,7 @@ func ablationSpec() scenario.Spec {
 
 func runAblation(b *testing.B, proto string, tweaks core.ProtocolTweaks, macCfg mac.Config) (pdr, overhead float64) {
 	b.Helper()
-	res, err := core.Run(core.RunConfig{
+	res, err := core.Run(context.Background(), core.RunConfig{
 		Spec: ablationSpec(), Protocol: proto, Seed: 1, Tweaks: tweaks, Mac: macCfg,
 	})
 	if err != nil {

@@ -7,10 +7,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -20,7 +22,7 @@ import (
 
 func main() {
 	var (
-		proto     = flag.String("proto", adhocsim.DSR, "routing protocol: "+strings.Join(adhocsim.AllProtocols(), ", "))
+		proto     = flag.String("proto", adhocsim.DSR, "routing protocol: "+strings.Join(adhocsim.RegisteredProtocols(), ", "))
 		nodes     = flag.Int("nodes", 40, "number of nodes")
 		areaW     = flag.Float64("w", 1500, "area width (m)")
 		areaH     = flag.Float64("h", 300, "area height (m)")
@@ -77,7 +79,9 @@ func main() {
 			}
 		}()
 	}
-	res, err := adhocsim.RunReplicated(rc, seedList, 0)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	res, err := adhocsim.RunReplicatedContext(ctx, rc, seedList, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adhocsim:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 	world.Start()
 
 	// Let HELLO beacons run for 20 simulated seconds (about 10 rounds).
-	if err := world.Run(sim.At(20)); err != nil {
+	if err := world.Run(context.Background(), sim.At(20)); err != nil {
 		log.Fatal(err)
 	}
 

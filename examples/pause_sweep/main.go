@@ -5,25 +5,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"adhocsim"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := adhocsim.DefaultOptions()
 	opts.Base.Nodes = 25
 	opts.Base.Area = adhocsim.Rect{W: 900, H: 300}
 	opts.Base.Duration = 100 * adhocsim.Second
 	opts.Base.Sources = 8
 	opts.Seeds = []int64{1, 2}
+	opts.OnProgress = adhocsim.ProgressPrinter(os.Stderr)
 
 	// Pause times from "always moving" to "static for the whole run".
 	pauses := []float64{0, 25, 50, 100}
 
 	fmt.Println("running", len(opts.Protocols), "protocols x", len(pauses), "pause times x", len(opts.Seeds), "seeds...")
-	sweep, err := adhocsim.PauseSweep(opts, pauses)
+	sweep, err := adhocsim.Sweep(ctx, opts, adhocsim.PauseAxis(pauses))
 	if err != nil {
 		log.Fatal(err)
 	}

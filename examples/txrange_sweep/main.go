@@ -1,0 +1,64 @@
+// Transmission-range sweep: an experiment the v1 API could not express.
+// The study fixed the radio range at 250 m; here we sweep it (with the
+// carrier-sense range following at its default 2.2× ratio) to watch the
+// delivery/overhead trade-off as the network thins out, with live progress
+// reporting, Ctrl-C cancellation, and JSON export of the sweep.
+//
+//	go run ./examples/txrange_sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"adhocsim"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := adhocsim.DefaultOptions()
+	opts.Protocols = []string{adhocsim.DSR, adhocsim.AODV}
+	opts.Base.Nodes = 25
+	opts.Base.Area = adhocsim.Rect{W: 900, H: 300}
+	opts.Base.Duration = 100 * adhocsim.Second
+	opts.Base.Sources = 8
+	opts.Seeds = []int64{1, 2}
+	opts.OnProgress = adhocsim.ProgressPrinter(os.Stderr)
+
+	// 120 m barely spans the strip's height; 250 m is the study radio.
+	axis := adhocsim.TxRangeAxis([]float64{120, 160, 200, 250})
+	sweep, err := adhocsim.Sweep(ctx, opts, axis)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fig := range []adhocsim.Figure{
+		{ID: "pdr", Title: "Packet delivery ratio vs radio range", Metric: adhocsim.MetricPDR, Sweep: sweep},
+		{ID: "hops", Title: "Average route length vs radio range", Metric: adhocsim.MetricAvgHops, Sweep: sweep},
+		{ID: "overhead", Title: "Routing overhead vs radio range", Metric: adhocsim.MetricOverhead, Sweep: sweep},
+	} {
+		fmt.Println()
+		fmt.Print(adhocsim.RenderFigure(fig))
+	}
+
+	// The whole sweep serializes to JSON for downstream plotting.
+	b, err := adhocsim.SweepJSON(sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const out = "txrange_sweep.json"
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d bytes)\n", out, len(b))
+
+	fmt.Println("\nReading the shape: short radios fragment the 900x300 m strip —")
+	fmt.Println("delivery collapses and every delivered packet needs more hops; as")
+	fmt.Println("range grows the network contracts toward one hop and discovery")
+	fmt.Println("traffic shrinks.")
+}

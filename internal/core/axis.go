@@ -1,0 +1,323 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+)
+
+// Axis is one sweepable scenario dimension: a label for rendering, the
+// values to visit, and a function that writes one value into a Spec. Any
+// Spec field can be swept — the catalogue below covers the study axes plus
+// the radio/traffic dimensions the original harness could not express, and
+// callers can define their own Apply for anything else.
+type Axis struct {
+	Label  string
+	Values []float64
+	Apply  func(*scenario.Spec, float64)
+	// Defaults, when non-nil and Values is empty, derives the values to
+	// visit from the sweep's base spec at Sweep/Grid time. Catalogue
+	// constructors with static defaults fill Values directly; PauseAxis
+	// uses this hook because its defaults scale with scenario duration.
+	Defaults func(scenario.Spec) []float64
+}
+
+func (a Axis) validate() error {
+	if a.Apply == nil {
+		return fmt.Errorf("core: axis %q has no Apply function", a.Label)
+	}
+	if len(a.Values) == 0 {
+		return fmt.Errorf("core: axis %q has no values", a.Label)
+	}
+	return nil
+}
+
+// resolved fills empty Values from the Defaults hook against the sweep's
+// base spec, then validates.
+func (a Axis) resolved(base scenario.Spec) (Axis, error) {
+	if len(a.Values) == 0 && a.Defaults != nil {
+		a.Values = a.Defaults(base)
+	}
+	return a, a.validate()
+}
+
+// WithValues returns a copy of the axis visiting exactly the given values
+// (the Defaults hook is dropped: an empty vs makes the axis invalid rather
+// than reverting to defaults).
+func (a Axis) WithValues(vs []float64) Axis {
+	a.Values = append([]float64(nil), vs...)
+	a.Defaults = nil
+	return a
+}
+
+// The axis catalogue. Each constructor accepts explicit values; nil selects
+// the canonical default points of the study (or a sensible spread for the
+// axes the study did not sweep). An empty non-nil slice is deliberately NOT
+// a default request — it fails validation at sweep time, so a
+// programmatically-filtered list that came up empty errors loudly instead
+// of silently launching the full default sweep.
+
+// PauseAxis sweeps random-waypoint pause time in seconds (Figures 1–4).
+// Nil values select the Broch-style defaults, scaled to the base spec's
+// duration when the sweep runs.
+func PauseAxis(vs []float64) Axis {
+	a := Axis{
+		Label:  "pause_s",
+		Values: vs,
+		Apply: func(s *scenario.Spec, x float64) {
+			s.Pause = sim.Seconds(x)
+		},
+	}
+	if vs == nil {
+		a.Defaults = func(base scenario.Spec) []float64 {
+			return DefaultPauses(base.Duration)
+		}
+	}
+	return a
+}
+
+// NodesAxis sweeps the node count (Figure 6).
+func NodesAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{10, 20, 30, 40}
+	}
+	return Axis{Label: "nodes", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.Nodes = int(x)
+	}}
+}
+
+// RateAxis sweeps the per-connection packet rate in packets/s (Figure 7).
+func RateAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{1, 2, 4, 8, 12}
+	}
+	return Axis{Label: "rate_pps", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.Rate = x
+	}}
+}
+
+// SpeedAxis sweeps the maximum node speed in m/s (Figure 8), clamping the
+// minimum speed when needed.
+func SpeedAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{1, 5, 10, 15, 20}
+	}
+	return Axis{Label: "speed_mps", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.MaxSpeed = x
+		if s.MinSpeed > x {
+			s.MinSpeed = x
+		}
+	}}
+}
+
+// SourcesAxis sweeps the number of CBR connections (the 10/20/30-source
+// variants of Figures 1–2).
+func SourcesAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{10, 20, 30}
+	}
+	return Axis{Label: "sources", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.Sources = int(x)
+	}}
+}
+
+// TxRangeAxis sweeps the radio transmission range in metres; the
+// carrier-sense range follows at its default 2.2× ratio unless the spec
+// pins it. The v1 API had no sweep for this axis.
+func TxRangeAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{100, 150, 200, 250}
+	}
+	return Axis{Label: "txrange_m", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.TxRange = x
+	}}
+}
+
+// CSRangeAxis sweeps the carrier-sense range in metres independently of the
+// transmission range (the cumulative-interference studies' axis).
+func CSRangeAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{300, 450, 550, 700}
+	}
+	return Axis{Label: "csrange_m", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.CSRange = x
+	}}
+}
+
+// AreaWidthAxis sweeps the simulation-area width in metres (node density at
+// fixed population).
+func AreaWidthAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{1000, 1500, 2250, 3000}
+	}
+	return Axis{Label: "area_w_m", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.Area.W = x
+	}}
+}
+
+// PayloadAxis sweeps the CBR payload size in bytes.
+func PayloadAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{64, 256, 512, 1024}
+	}
+	return Axis{Label: "payload_B", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		s.PayloadBytes = int(x)
+	}}
+}
+
+// axisConstructors maps CLI-friendly names to catalogue constructors.
+var axisConstructors = map[string]func([]float64) Axis{
+	"pause":   PauseAxis,
+	"nodes":   NodesAxis,
+	"rate":    RateAxis,
+	"speed":   SpeedAxis,
+	"sources": SourcesAxis,
+	"txrange": TxRangeAxis,
+	"csrange": CSRangeAxis,
+	"width":   AreaWidthAxis,
+	"payload": PayloadAxis,
+}
+
+// AxisNames lists the catalogue names understood by AxisByName, sorted.
+func AxisNames() []string {
+	out := make([]string, 0, len(axisConstructors))
+	for name := range axisConstructors {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AxisByName resolves a catalogue axis by CLI name ("txrange", "pause", …)
+// with the given values (nil selects the axis defaults).
+func AxisByName(name string, vs []float64) (Axis, error) {
+	ctor := axisConstructors[strings.ToLower(strings.TrimSpace(name))]
+	if ctor == nil {
+		return Axis{}, fmt.Errorf("core: unknown axis %q (known: %s)",
+			name, strings.Join(AxisNames(), ", "))
+	}
+	return ctor(vs), nil
+}
+
+// GridResult holds merged results for each protocol at each point of a
+// multi-axis cross product.
+type GridResult struct {
+	// Labels are the axis labels, outermost first.
+	Labels []string
+	// Points is the cross product in row-major order (last axis fastest);
+	// Points[i][a] is the value of axis a at point i.
+	Points [][]float64
+	// Protocols in presentation order.
+	Protocols []string
+	// Cells[protocol][i] is the merged result at Points[i].
+	Cells map[string][]stats.Results
+}
+
+// Point returns the index into Cells rows for the given axis values, or -1
+// if the combination is not part of the grid.
+func (g *GridResult) Point(values ...float64) int {
+	for i, pt := range g.Points {
+		if len(pt) != len(values) {
+			return -1
+		}
+		match := true
+		for a := range pt {
+			if pt[a] != values[a] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// Grid evaluates every protocol at every combination of the axes' values
+// (full cross product) on the shared worker pool. A single axis degenerates
+// to Sweep; two or more axes express experiments the v1 API could not, such
+// as TxRange × offered load.
+func Grid(ctx context.Context, opts Options, axes ...Axis) (*GridResult, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("core: Grid needs at least one axis")
+	}
+	opts = opts.normalized()
+	// Resolve into a private slice: callers passing a shared []Axis via
+	// axes... must not observe default-filled Values.
+	resolvedAxes := make([]Axis, len(axes))
+	labels := make([]string, len(axes))
+	points := 1
+	for i := range axes {
+		a, err := axes[i].resolved(opts.Base)
+		if err != nil {
+			return nil, err
+		}
+		resolvedAxes[i] = a
+		labels[i] = a.Label
+		points *= len(a.Values)
+	}
+	axes = resolvedAxes
+
+	// Enumerate the cross product, last axis fastest.
+	cross := make([][]float64, 0, points)
+	idx := make([]int, len(axes))
+	for {
+		pt := make([]float64, len(axes))
+		for a := range axes {
+			pt[a] = axes[a].Values[idx[a]]
+		}
+		cross = append(cross, pt)
+		a := len(axes) - 1
+		for ; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(axes[a].Values) {
+				break
+			}
+			idx[a] = 0
+		}
+		if a < 0 {
+			break
+		}
+	}
+
+	axisLabel := strings.Join(labels, "×")
+	jobs := make([]runJob, 0, len(opts.Protocols)*len(cross)*len(opts.Seeds))
+	for _, p := range opts.Protocols {
+		for _, pt := range cross {
+			spec := opts.Base
+			for a := range axes {
+				axes[a].Apply(&spec, pt[a])
+			}
+			for _, seed := range opts.Seeds {
+				jobs = append(jobs, runJob{spec: spec, protocol: p, seed: seed, axis: axisLabel, x: pt[0]})
+			}
+		}
+	}
+	results, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &GridResult{
+		Labels:    labels,
+		Points:    cross,
+		Protocols: append([]string(nil), opts.Protocols...),
+		Cells:     make(map[string][]stats.Results, len(opts.Protocols)),
+	}
+	ri := 0
+	for _, p := range opts.Protocols {
+		row := make([]stats.Results, len(cross))
+		for pi := range cross {
+			reps := results[ri : ri+len(opts.Seeds)]
+			ri += len(opts.Seeds)
+			row[pi] = stats.MergeResults(reps)
+		}
+		out.Cells[p] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+)
+
+// TestSweepCustomTxRangeAxis sweeps the transmission range — an axis the v1
+// API (four hard-coded sweeps) could not express.
+func TestSweepCustomTxRangeAxis(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Protocols = []string{DSR}
+	opts.Seeds = []int64{1}
+	axis := TxRangeAxis([]float64{120, 250})
+	sweep, err := Sweep(context.Background(), opts, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.XLabel != "txrange_m" || len(sweep.Xs) != 2 {
+		t.Fatalf("sweep axis = %q %v", sweep.XLabel, sweep.Xs)
+	}
+	short, long := sweep.Cells[DSR][0], sweep.Cells[DSR][1]
+	if short.DataSent == 0 || long.DataSent == 0 {
+		t.Fatal("degenerate sweep cells")
+	}
+	// Halving the radio range on the same scenario must change the
+	// simulation outcome (fewer links, longer or broken routes).
+	if short.DataDelivered == long.DataDelivered && short.RoutingTxPackets == long.RoutingTxPackets {
+		t.Fatalf("txrange axis had no effect: %+v vs %+v", short, long)
+	}
+}
+
+// TestLegacyWrappersMatchGenericSweep pins the wrapper contract: the named
+// study sweeps must produce exactly what Sweep produces for the matching
+// catalogue axis.
+func TestLegacyWrappersMatchGenericSweep(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Base.Duration = 30 * sim.Second
+	opts.Protocols = []string{AODV}
+	opts.Seeds = []int64{1}
+	pauses := []float64{0, 30}
+
+	legacy, err := PauseSweep(context.Background(), opts, pauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, err := Sweep(context.Background(), opts, PauseAxis(pauses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.XLabel != generic.XLabel {
+		t.Fatalf("labels differ: %q vs %q", legacy.XLabel, generic.XLabel)
+	}
+	for xi := range pauses {
+		l, g := legacy.Cells[AODV][xi], generic.Cells[AODV][xi]
+		if l.DataSent != g.DataSent || l.DataDelivered != g.DataDelivered ||
+			l.RoutingTxPackets != g.RoutingTxPackets || l.AvgDelay != g.AvgDelay {
+			t.Fatalf("point %d differs: %+v vs %+v", xi, l, g)
+		}
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	// A deliberately long job queue: full-scale scenarios that would take
+	// tens of seconds to finish. Cancelling shortly after the start must
+	// interrupt in-flight simulations, not just pending dispatch.
+	opts := DefaultOptions()
+	opts.Protocols = []string{DSR, AODV}
+	opts.Seeds = []int64{1, 2}
+	opts.Base.Duration = 600 * sim.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Sweep(ctx, opts, PauseAxis([]float64{0, 300, 600}))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestRunHonoursPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, RunConfig{Spec: smallSpec(), Protocol: DSR, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepProgressReporting(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Base.Duration = 20 * sim.Second
+	opts.Protocols = []string{DSR}
+	opts.Seeds = []int64{1, 2}
+	var calls []Progress
+	opts.OnProgress = func(p Progress) { calls = append(calls, p) }
+
+	if _, err := Sweep(context.Background(), opts, PauseAxis([]float64{0, 20})); err != nil {
+		t.Fatal(err)
+	}
+	const total = 1 * 2 * 2 // protocols × points × seeds
+	if len(calls) != total {
+		t.Fatalf("progress calls = %d, want %d", len(calls), total)
+	}
+	for i, p := range calls {
+		if p.Done != i+1 || p.Total != total {
+			t.Fatalf("call %d = %+v (Done must be monotone, Total fixed)", i, p)
+		}
+		if p.Protocol != DSR || p.Axis != "pause_s" {
+			t.Fatalf("call %d annotations = %+v", i, p)
+		}
+	}
+}
+
+func TestGridCrossProduct(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base = smallSpec()
+	opts.Base.Duration = 20 * sim.Second
+	opts.Protocols = []string{DSR}
+	opts.Seeds = []int64{1}
+
+	grid, err := Grid(context.Background(), opts,
+		TxRangeAxis([]float64{150, 250}),
+		RateAxis([]float64{2, 8}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Labels) != 2 || grid.Labels[0] != "txrange_m" || grid.Labels[1] != "rate_pps" {
+		t.Fatalf("labels = %v", grid.Labels)
+	}
+	wantPoints := [][]float64{{150, 2}, {150, 8}, {250, 2}, {250, 8}}
+	if len(grid.Points) != len(wantPoints) {
+		t.Fatalf("points = %v", grid.Points)
+	}
+	for i, want := range wantPoints {
+		if grid.Points[i][0] != want[0] || grid.Points[i][1] != want[1] {
+			t.Fatalf("point %d = %v, want %v (last axis fastest)", i, grid.Points[i], want)
+		}
+	}
+	if i := grid.Point(250, 8); i != 3 {
+		t.Fatalf("Point(250,8) = %d", i)
+	}
+	if i := grid.Point(99, 99); i != -1 {
+		t.Fatalf("Point(99,99) = %d, want -1", i)
+	}
+	cells := grid.Cells[DSR]
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// The high-rate points must carry more offered traffic than the
+	// low-rate points at the same range.
+	if cells[1].DataSent <= cells[0].DataSent {
+		t.Fatalf("rate axis had no effect: %d vs %d sent", cells[1].DataSent, cells[0].DataSent)
+	}
+}
+
+func TestAxisByName(t *testing.T) {
+	axis, err := AxisByName("txrange", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axis.Label != "txrange_m" || len(axis.Values) == 0 {
+		t.Fatalf("axis = %+v", axis)
+	}
+	spec := scenario.Default()
+	axis.Apply(&spec, 123)
+	if spec.TxRange != 123 {
+		t.Fatalf("apply did not set TxRange: %v", spec.TxRange)
+	}
+	if _, err := AxisByName("warp-factor", nil); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	for _, name := range AxisNames() {
+		a, err := AxisByName(name, nil)
+		if err != nil {
+			t.Errorf("catalogue axis %q: %v", name, err)
+			continue
+		}
+		r, err := a.resolved(scenario.Default())
+		if err != nil {
+			t.Errorf("catalogue axis %q does not resolve: %v", name, err)
+		} else if len(r.Values) == 0 {
+			t.Errorf("catalogue axis %q resolved to no values", name)
+		}
+	}
+}
+
+// TestPauseAxisDefaultsScaleWithDuration pins the v2 default-resolution
+// contract: PauseAxis(nil) must not sweep past the scenario horizon.
+func TestPauseAxisDefaultsScaleWithDuration(t *testing.T) {
+	base := scenario.Default()
+	base.Duration = 150 * sim.Second
+	a, err := PauseAxis(nil).resolved(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := a.Values[len(a.Values)-1]; last != 150 {
+		t.Fatalf("pause defaults = %v, want scaled to 150 s horizon", a.Values)
+	}
+}
+
+func TestSweepRejectsInvalidAxis(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base = smallSpec()
+	if _, err := Sweep(context.Background(), opts, Axis{Label: "broken"}); err == nil {
+		t.Fatal("axis without Apply accepted")
+	}
+	if _, err := Sweep(context.Background(), opts, TxRangeAxis(nil).WithValues(nil)); err == nil {
+		t.Fatal("axis without values accepted")
+	}
+	// An explicit empty slice must error loudly, never fall back to the
+	// full default sweep — even for PauseAxis, whose nil form has a
+	// Defaults hook.
+	if _, err := Sweep(context.Background(), opts, PauseAxis([]float64{})); err == nil {
+		t.Fatal("empty pause list accepted")
+	}
+	if _, err := DensitySweep(context.Background(), opts, []float64{}); err == nil {
+		t.Fatal("empty density list accepted")
+	}
+}

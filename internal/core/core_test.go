@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"adhocsim/internal/geo"
@@ -36,7 +37,7 @@ func staticSpec() scenario.Spec {
 
 func runOne(t *testing.T, spec scenario.Spec, proto string, seed int64) stats.Results {
 	t.Helper()
-	res, err := Run(RunConfig{Spec: spec, Protocol: proto, Seed: seed})
+	res, err := Run(context.Background(), RunConfig{Spec: spec, Protocol: proto, Seed: seed})
 	if err != nil {
 		t.Fatalf("%s: %v", proto, err)
 	}
@@ -129,11 +130,11 @@ func TestDeterminism(t *testing.T) {
 func TestRunReplicatedMergesSeeds(t *testing.T) {
 	spec := smallSpec()
 	spec.Duration = 30 * sim.Second
-	res, err := RunReplicated(RunConfig{Spec: spec, Protocol: DSR}, []int64{1, 2, 3}, 3)
+	res, err := RunReplicated(context.Background(), RunConfig{Spec: spec, Protocol: DSR}, []int64{1, 2, 3}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Run(RunConfig{Spec: spec, Protocol: DSR, Seed: 1})
+	single, err := Run(context.Background(), RunConfig{Spec: spec, Protocol: DSR, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
-	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
 )
@@ -33,59 +33,35 @@ func DefaultPauses(duration sim.Duration) []float64 {
 	return out
 }
 
+// The study's named sweeps are thin wrappers over the generic Sweep with a
+// catalogue Axis.
+
 // PauseSweep runs the mobility experiment: pause time varies, everything
-// else fixed. It underlies Figures 1–4.
-func PauseSweep(opts Options, pauses []float64) (*SweepResult, error) {
-	if pauses == nil {
-		pauses = DefaultPauses(opts.Base.Duration)
-	}
-	return runSweep(opts, "pause_s", pauses, func(s *scenario.Spec, x float64) {
-		s.Pause = sim.Seconds(x)
-	})
+// else fixed. It underlies Figures 1–4. A nil pauses slice selects the
+// Broch-style defaults scaled to the scenario duration.
+func PauseSweep(ctx context.Context, opts Options, pauses []float64) (*SweepResult, error) {
+	return Sweep(ctx, opts, PauseAxis(pauses))
 }
 
 // DensitySweep varies the node count (Figure 6).
-func DensitySweep(opts Options, nodes []float64) (*SweepResult, error) {
-	if nodes == nil {
-		nodes = []float64{10, 20, 30, 40}
-	}
-	return runSweep(opts, "nodes", nodes, func(s *scenario.Spec, x float64) {
-		s.Nodes = int(x)
-	})
+func DensitySweep(ctx context.Context, opts Options, nodes []float64) (*SweepResult, error) {
+	return Sweep(ctx, opts, NodesAxis(nodes))
 }
 
 // LoadSweep varies the per-connection packet rate (Figure 7).
-func LoadSweep(opts Options, rates []float64) (*SweepResult, error) {
-	if rates == nil {
-		rates = []float64{1, 2, 4, 8, 12}
-	}
-	return runSweep(opts, "rate_pps", rates, func(s *scenario.Spec, x float64) {
-		s.Rate = x
-	})
+func LoadSweep(ctx context.Context, opts Options, rates []float64) (*SweepResult, error) {
+	return Sweep(ctx, opts, RateAxis(rates))
 }
 
 // SpeedSweep varies the maximum node speed (Figure 8).
-func SpeedSweep(opts Options, speeds []float64) (*SweepResult, error) {
-	if speeds == nil {
-		speeds = []float64{1, 5, 10, 15, 20}
-	}
-	return runSweep(opts, "speed_mps", speeds, func(s *scenario.Spec, x float64) {
-		s.MaxSpeed = x
-		if s.MinSpeed > x {
-			s.MinSpeed = x
-		}
-	})
+func SpeedSweep(ctx context.Context, opts Options, speeds []float64) (*SweepResult, error) {
+	return Sweep(ctx, opts, SpeedAxis(speeds))
 }
 
 // SourcesSweep varies the number of CBR connections (the 10/20/30-source
 // variants of Figures 1–2).
-func SourcesSweep(opts Options, sources []float64) (*SweepResult, error) {
-	if sources == nil {
-		sources = []float64{10, 20, 30}
-	}
-	return runSweep(opts, "sources", sources, func(s *scenario.Spec, x float64) {
-		s.Sources = int(x)
-	})
+func SourcesSweep(ctx context.Context, opts Options, sources []float64) (*SweepResult, error) {
+	return Sweep(ctx, opts, SourcesAxis(sources))
 }
 
 // Figures14 derives the four pause-time figures from one sweep.
@@ -101,10 +77,8 @@ func Figures14(sweep *SweepResult) []Figure {
 // PathOptimality runs the single-point path-optimality experiment
 // (Figure 5) and returns, per protocol, the histogram of hops beyond
 // optimal.
-func PathOptimality(opts Options) (map[string]map[int]uint64, error) {
-	sweep, err := runSweep(opts, "pause_s", []float64{0}, func(s *scenario.Spec, x float64) {
-		s.Pause = sim.Seconds(x)
-	})
+func PathOptimality(ctx context.Context, opts Options) (map[string]map[int]uint64, error) {
+	sweep, err := Sweep(ctx, opts, PauseAxis([]float64{0}))
 	if err != nil {
 		return nil, err
 	}
@@ -117,10 +91,8 @@ func PathOptimality(opts Options) (map[string]map[int]uint64, error) {
 
 // SummaryTable runs the headline single-configuration comparison (Table 1):
 // every metric for every protocol at the most stressful point (pause 0).
-func SummaryTable(opts Options) (map[string]stats.Results, error) {
-	sweep, err := runSweep(opts, "pause_s", []float64{0}, func(s *scenario.Spec, x float64) {
-		s.Pause = sim.Seconds(x)
-	})
+func SummaryTable(ctx context.Context, opts Options) (map[string]stats.Results, error) {
+	sweep, err := Sweep(ctx, opts, PauseAxis([]float64{0}))
 	if err != nil {
 		return nil, err
 	}

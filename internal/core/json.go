@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+
+	"adhocsim/internal/stats"
+)
+
+// JSON export for the three result shapes, alongside the text and CSV
+// renders. All exports are indented and end with a newline so they can be
+// written to files or piped as-is.
+
+// ResultsJSON renders one run's (or one merged replication set's) metrics.
+func ResultsJSON(r stats.Results) ([]byte, error) {
+	return marshal(r)
+}
+
+// SweepJSON renders a sweep: the axis, the protocols, and the full merged
+// Results at every point.
+func SweepJSON(sr *SweepResult) ([]byte, error) {
+	return marshal(sr)
+}
+
+// GridJSON renders a multi-axis grid result.
+func GridJSON(g *GridResult) ([]byte, error) {
+	return marshal(g)
+}
+
+// figureJSON is the serialized form of a Figure: the metric is flattened to
+// its name and unit (Metric.Value is a function), and the per-protocol
+// series are pre-extracted so consumers need no metric logic.
+type figureJSON struct {
+	ID        string               `json:"id"`
+	Title     string               `json:"title"`
+	Metric    string               `json:"metric"`
+	Unit      string               `json:"unit"`
+	XLabel    string               `json:"x_label"`
+	Xs        []float64            `json:"xs"`
+	Protocols []string             `json:"protocols"`
+	Series    map[string][]float64 `json:"series"`
+}
+
+// FigureJSON renders a figure as one metric's series per protocol.
+func FigureJSON(f Figure) ([]byte, error) {
+	out := figureJSON{
+		ID:        f.ID,
+		Title:     f.Title,
+		Metric:    f.Metric.Name,
+		Unit:      f.Metric.Unit,
+		XLabel:    f.Sweep.XLabel,
+		Xs:        f.Sweep.Xs,
+		Protocols: f.Sweep.Protocols,
+		Series:    make(map[string][]float64, len(f.Sweep.Protocols)),
+	}
+	for _, p := range f.Sweep.Protocols {
+		series := make([]float64, len(f.Sweep.Xs))
+		for xi := range f.Sweep.Xs {
+			series[xi] = f.Metric.Value(f.Sweep.Cells[p][xi])
+		}
+		out.Series[p] = series
+	}
+	return marshal(out)
+}
+
+func marshal(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

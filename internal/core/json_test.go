@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"adhocsim/internal/stats"
+)
+
+func TestResultsJSON(t *testing.T) {
+	r := stats.Results{
+		DataSent:      100,
+		DataDelivered: 95,
+		PDR:           0.95,
+		RoutingByType: map[string]uint64{"RREQ": 10},
+		HopExcess:     map[int]uint64{0: 90, 1: 5},
+		Drops:         map[stats.DropReason]uint64{stats.DropTTL: 5},
+	}
+	b, err := ResultsJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back stats.Results
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DataSent != 100 || back.PDR != 0.95 || back.RoutingByType["RREQ"] != 10 ||
+		back.HopExcess[1] != 5 || back.Drops[stats.DropTTL] != 5 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	b, err := SweepJSON(fakeSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.XLabel != "pause_s" || len(back.Cells[DSR]) != 2 || back.Cells[AODV][1].PDR != 0.98 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestFigureJSON(t *testing.T) {
+	f := Figure{ID: "fig1", Title: "PDR vs pause", Metric: MetricPDR, Sweep: fakeSweep()}
+	b, err := FigureJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		ID     string               `json:"id"`
+		Metric string               `json:"metric"`
+		Unit   string               `json:"unit"`
+		XLabel string               `json:"x_label"`
+		Xs     []float64            `json:"xs"`
+		Series map[string][]float64 `json:"series"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != "fig1" || out.Metric != "pdr" || out.Unit != "%" || out.XLabel != "pause_s" {
+		t.Fatalf("figure header = %+v", out)
+	}
+	// MetricPDR scales to percent: 0.95 → 95.
+	if len(out.Series[DSR]) != 2 || out.Series[DSR][0] != 95 {
+		t.Fatalf("series = %v", out.Series)
+	}
+}
+
+func TestGridJSON(t *testing.T) {
+	g := &GridResult{
+		Labels:    []string{"txrange_m", "rate_pps"},
+		Points:    [][]float64{{150, 2}, {150, 8}},
+		Protocols: []string{DSR},
+		Cells:     map[string][]stats.Results{DSR: {{PDR: 0.9}, {PDR: 0.8}}},
+	}
+	b, err := GridJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GridResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 || back.Cells[DSR][1].PDR != 0.8 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/routing/flood"
+)
+
+func stubBuilder(BuildContext) (network.ProtocolFactory, error) {
+	return func(pkt.NodeID) network.Protocol { return flood.New(flood.Config{}) }, nil
+}
+
+func TestRegisterProtocolErrors(t *testing.T) {
+	if err := RegisterProtocol("", stubBuilder); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := RegisterProtocol("NILBUILDER", nil); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if err := RegisterProtocol(DSR, stubBuilder); err == nil {
+		t.Error("duplicate of built-in DSR accepted")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate error = %v", err)
+	}
+
+	const name = "REGTEST-DUP"
+	if err := RegisterProtocol(name, stubBuilder); err != nil {
+		t.Fatal(err)
+	}
+	defer UnregisterProtocol(name)
+	if err := RegisterProtocol(name, stubBuilder); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	// Case-insensitive: the lowercase spelling is the same name.
+	if err := RegisterProtocol(strings.ToLower(name), stubBuilder); err == nil {
+		t.Error("case-variant duplicate accepted")
+	}
+}
+
+func TestFactoryForUnknownProtocolListsRegistered(t *testing.T) {
+	_, err := FactoryFor("OSPF", phy.DefaultParams(), ProtocolTweaks{})
+	if err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if !strings.Contains(err.Error(), DSR) {
+		t.Errorf("error does not list registered protocols: %v", err)
+	}
+}
+
+func TestFactoryForResolvesCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"dsr", "Dsr", " DSR "} {
+		if _, err := FactoryFor(name, phy.DefaultParams(), ProtocolTweaks{}); err != nil {
+			t.Errorf("FactoryFor(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRegisteredProtocolsContainsBuiltins(t *testing.T) {
+	have := map[string]bool{}
+	for _, p := range RegisteredProtocols() {
+		have[p] = true
+	}
+	for _, p := range AllProtocols() {
+		if !have[p] {
+			t.Errorf("built-in %s missing from registry", p)
+		}
+	}
+}

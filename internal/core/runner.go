@@ -2,23 +2,28 @@
 // It executes scenario×protocol×seed simulation runs (in parallel across
 // runs, each run single-threaded and deterministic), aggregates replication
 // seeds, and regenerates every figure and table of the evaluation.
+//
+// The experiment API is open on three axes: protocols resolve through a
+// registry (RegisterProtocol), scenario dimensions are swept through
+// first-class Axis values (Sweep, Grid), and long experiments are
+// cancellable and observable (context.Context plus Options.OnProgress).
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
 
 	"adhocsim/internal/mac"
 	"adhocsim/internal/network"
-	"adhocsim/internal/phy"
 	"adhocsim/internal/routing/aodv"
 	"adhocsim/internal/routing/cbrp"
 	"adhocsim/internal/routing/dsdv"
 	"adhocsim/internal/routing/dsr"
-	"adhocsim/internal/routing/flood"
-	"adhocsim/internal/routing/paodv"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
@@ -52,27 +57,6 @@ type ProtocolTweaks struct {
 	DSDV dsdv.Config
 }
 
-// FactoryFor resolves a protocol name to a factory. Radio parameters are
-// needed by PAODV (its warning threshold is a received-power level).
-func FactoryFor(name string, radio phy.RadioParams, tweaks ProtocolTweaks) (network.ProtocolFactory, error) {
-	switch name {
-	case DSR:
-		return dsr.Factory(tweaks.DSR), nil
-	case AODV:
-		return aodv.Factory(tweaks.AODV), nil
-	case PAODV:
-		return paodv.Factory(paodv.Config{AODV: tweaks.AODV, Radio: radio}), nil
-	case CBRP:
-		return cbrp.Factory(tweaks.CBRP), nil
-	case DSDV:
-		return dsdv.Factory(tweaks.DSDV), nil
-	case Flood:
-		return flood.Factory(flood.Config{}), nil
-	default:
-		return nil, fmt.Errorf("core: unknown protocol %q", name)
-	}
-}
-
 // RunConfig describes one simulation run.
 type RunConfig struct {
 	Spec     scenario.Spec
@@ -90,8 +74,16 @@ type RunConfig struct {
 }
 
 // Run executes one scenario×protocol×seed simulation and returns its
-// metrics.
-func Run(rc RunConfig) (stats.Results, error) {
+// metrics. The context is polled inside the event loop: cancelling it
+// aborts the simulation promptly with the context's error. A nil context
+// is treated as context.Background().
+func Run(ctx context.Context, rc RunConfig) (stats.Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return stats.Results{}, err
+	}
 	inst, err := rc.Spec.Generate(rc.Seed)
 	if err != nil {
 		return stats.Results{}, err
@@ -127,7 +119,7 @@ func Run(rc RunConfig) (stats.Results, error) {
 	}
 	world.Eng.Limit = limit
 	world.Start()
-	if err := world.Run(sim.Time(0).Add(rc.Spec.Duration)); err != nil {
+	if err := world.Run(ctx, sim.Time(0).Add(rc.Spec.Duration)); err != nil {
 		return stats.Results{}, fmt.Errorf("%s seed %d: %w", rc.Protocol, rc.Seed, err)
 	}
 	return world.Collector.Finalize(), nil
@@ -135,13 +127,16 @@ func Run(rc RunConfig) (stats.Results, error) {
 
 // RunReplicated executes the run for each seed in parallel and merges the
 // results.
-func RunReplicated(rc RunConfig, seeds []int64, workers int) (stats.Results, error) {
+func RunReplicated(ctx context.Context, rc RunConfig, seeds []int64, workers int) (stats.Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(seeds) == 0 {
 		seeds = []int64{1}
 	}
 	if len(seeds) == 1 {
 		rc.Seed = seeds[0]
-		return Run(rc)
+		return Run(ctx, rc)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -158,16 +153,46 @@ func RunReplicated(rc RunConfig, seeds []int64, workers int) (stats.Results, err
 			defer func() { <-sem }()
 			r := rc
 			r.Seed = seed
-			results[i], errs[i] = Run(r)
+			results[i], errs[i] = Run(ctx, r)
 		}(i, seed)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats.Results{}, err
-		}
+	if err := firstError(ctx, errs); err != nil {
+		return stats.Results{}, err
 	}
 	return stats.MergeResults(results), nil
+}
+
+// Progress reports one completed run inside a sweep or grid.
+type Progress struct {
+	// Done runs out of Total have finished (including this one).
+	Done, Total int
+	// Protocol, Seed and the axis point of the run that just completed.
+	Protocol string
+	Seed     int64
+	// Axis is the swept axis label ("pause_s"); for Grid it names every
+	// axis joined by "×". X holds the primary axis value.
+	Axis string
+	X    float64
+}
+
+// ProgressFunc observes sweep progress. Calls are serialized (never
+// concurrent) but originate from worker goroutines, so the callback must
+// not block for long.
+type ProgressFunc func(Progress)
+
+// ProgressPrinter returns a ProgressFunc rendering a single updating line
+// to w ("[done/total] PROTO axis=x seed n" behind a carriage return),
+// terminated when the last run completes. It is the shared progress
+// renderer of the cmd tools and examples.
+func ProgressPrinter(w io.Writer) ProgressFunc {
+	return func(p Progress) {
+		fmt.Fprintf(w, "\r[%d/%d] %s %s=%g seed %d        ",
+			p.Done, p.Total, p.Protocol, p.Axis, p.X, p.Seed)
+		if p.Done == p.Total {
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 // Options configure a sweep: the scenario template, the protocols compared,
@@ -179,6 +204,9 @@ type Options struct {
 	Workers   int
 	Mac       mac.Config
 	Tweaks    ProtocolTweaks
+	// OnProgress, when non-nil, is invoked after every completed run of a
+	// sweep or grid.
+	OnProgress ProgressFunc
 }
 
 // DefaultOptions returns study defaults (all five protocols, 3 seeds).
@@ -190,6 +218,112 @@ func DefaultOptions() Options {
 	}
 }
 
+// normalized fills the zero-value defaults of Options.
+func (o Options) normalized() Options {
+	if len(o.Protocols) == 0 {
+		o.Protocols = StudyProtocols()
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// runJob is one unit of work for the shared worker pool: a fully-resolved
+// scenario×protocol×seed triple plus the progress annotations of the axis
+// point it came from.
+type runJob struct {
+	spec     scenario.Spec
+	protocol string
+	seed     int64
+	axis     string
+	x        float64
+}
+
+// runJobs executes every job on a shared worker pool and returns results in
+// job order (a flat indexed slice — deterministic, no per-job map
+// allocation or struct-key hashing on the dispatch path). Cancelling the
+// context stops dispatch and interrupts in-flight simulations; the
+// context's error is returned unless an earlier job failed on its own.
+func runJobs(ctx context.Context, opts Options, jobs []runJob) ([]stats.Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]stats.Results, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var progressMu sync.Mutex
+	done := 0
+	report := func(i int) {
+		if opts.OnProgress == nil {
+			return
+		}
+		j := jobs[i]
+		progressMu.Lock()
+		done++
+		p := Progress{
+			Done:     done,
+			Total:    len(jobs),
+			Protocol: j.protocol,
+			Seed:     j.seed,
+			Axis:     j.axis,
+			X:        j.x,
+		}
+		opts.OnProgress(p)
+		progressMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				j := jobs[i]
+				results[i], errs[i] = Run(ctx, RunConfig{
+					Spec:     j.spec,
+					Protocol: j.protocol,
+					Seed:     j.seed,
+					Mac:      opts.Mac,
+					Tweaks:   opts.Tweaks,
+				})
+				report(i)
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if err := firstError(ctx, errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// firstError picks the error to surface from a batch: the first failure
+// that is not itself a symptom of cancellation, else the context's error.
+// This guarantees a cancelled sweep reports context.Canceled (or
+// DeadlineExceeded) rather than an arbitrary wrapped per-run error.
+func firstError(ctx context.Context, errs []error) error {
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
 // SweepResult holds merged results for each protocol at each sweep point.
 type SweepResult struct {
 	XLabel    string
@@ -199,90 +333,26 @@ type SweepResult struct {
 	Cells map[string][]stats.Results
 }
 
-// runSweep evaluates every protocol at every x (modifying the spec via
-// apply), parallelising across (protocol, x, seed).
-func runSweep(opts Options, xLabel string, xs []float64, apply func(*scenario.Spec, float64)) (*SweepResult, error) {
-	if len(opts.Protocols) == 0 {
-		opts.Protocols = StudyProtocols()
+// Sweep evaluates every protocol in opts at every value of the axis,
+// parallelising across (protocol, value, seed) on one shared worker pool
+// and merging replication seeds per point. It subsumes the four hard-coded
+// study sweeps: any Spec dimension an Axis can Apply is sweepable. Sweep is
+// the one-axis case of Grid.
+func Sweep(ctx context.Context, opts Options, axis Axis) (*SweepResult, error) {
+	g, err := Grid(ctx, opts, axis)
+	if err != nil {
+		return nil, err
 	}
-	if len(opts.Seeds) == 0 {
-		opts.Seeds = []int64{1}
+	xs := make([]float64, len(g.Points))
+	for i, pt := range g.Points {
+		xs[i] = pt[0]
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	type job struct {
-		proto   string
-		xi      int
-		seedIdx int
-	}
-	type slot struct {
-		res stats.Results
-		err error
-	}
-	jobs := make([]job, 0, len(opts.Protocols)*len(xs)*len(opts.Seeds))
-	for _, p := range opts.Protocols {
-		for xi := range xs {
-			for si := range opts.Seeds {
-				jobs = append(jobs, job{p, xi, si})
-			}
-		}
-	}
-	slots := make(map[job]*slot, len(jobs))
-	for _, j := range jobs {
-		slots[j] = &slot{}
-	}
-	var wg sync.WaitGroup
-	ch := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				spec := opts.Base
-				apply(&spec, xs[j.xi])
-				rc := RunConfig{
-					Spec:     spec,
-					Protocol: j.proto,
-					Seed:     opts.Seeds[j.seedIdx],
-					Mac:      opts.Mac,
-					Tweaks:   opts.Tweaks,
-				}
-				s := slots[j]
-				s.res, s.err = Run(rc)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-
-	out := &SweepResult{
-		XLabel:    xLabel,
+	return &SweepResult{
+		XLabel:    g.Labels[0],
 		Xs:        xs,
-		Protocols: append([]string(nil), opts.Protocols...),
-		Cells:     make(map[string][]stats.Results),
-	}
-	for _, p := range opts.Protocols {
-		row := make([]stats.Results, len(xs))
-		for xi := range xs {
-			var reps []stats.Results
-			for si := range opts.Seeds {
-				s := slots[job{p, xi, si}]
-				if s.err != nil {
-					return nil, s.err
-				}
-				reps = append(reps, s.res)
-			}
-			row[xi] = stats.MergeResults(reps)
-		}
-		out.Cells[p] = row
-	}
-	return out, nil
+		Protocols: g.Protocols,
+		Cells:     g.Cells,
+	}, nil
 }
 
 // Metric extracts a scalar from run results for rendering.

@@ -1,11 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"adhocsim/internal/scenario"
-	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
 )
 
@@ -128,12 +127,8 @@ type VerifyResult struct {
 // Verify runs the two reference configurations (pause 0 and fully static)
 // and evaluates every finding. Options follow the usual semantics; the
 // pause axis is overridden internally.
-func Verify(opts Options) ([]VerifyResult, error) {
-	if len(opts.Protocols) == 0 {
-		opts.Protocols = StudyProtocols()
-	}
-	sweep, err := runSweep(opts, "pause_s", []float64{0, opts.Base.Duration.Seconds()},
-		func(s *scenario.Spec, x float64) { s.Pause = sim.Seconds(x) })
+func Verify(ctx context.Context, opts Options) ([]VerifyResult, error) {
+	sweep, err := Sweep(ctx, opts, PauseAxis([]float64{0, opts.Base.Duration.Seconds()}))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package network_test
 
 import (
+	"context"
 	"testing"
 
 	"adhocsim/internal/mobility"
@@ -50,7 +51,7 @@ func TestWorldWiring(t *testing.T) {
 	w.Start()
 	p := pkt.DataPacket(0, 2, 0, 64, sim.At(1))
 	w.Eng.Schedule(sim.At(1), func() { w.Node(0).Originate(p) })
-	if err := w.Run(sim.At(5)); err != nil {
+	if err := w.Run(context.Background(), sim.At(5)); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 {
@@ -90,7 +91,7 @@ func TestMacControlAggregated(t *testing.T) {
 	w.Eng.Schedule(sim.At(1), func() {
 		w.Node(0).Originate(pkt.DataPacket(0, 1, 0, 64, sim.At(1)))
 	})
-	if err := w.Run(sim.At(3)); err != nil {
+	if err := w.Run(context.Background(), sim.At(3)); err != nil {
 		t.Fatal(err)
 	}
 	res := w.Collector.Finalize()

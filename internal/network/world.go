@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 
 	"adhocsim/internal/mac"
@@ -84,8 +85,23 @@ func (w *World) Start() {
 }
 
 // Run executes the simulation until the horizon and finalizes MAC counters
-// into the collector.
-func (w *World) Run(until sim.Time) error {
+// into the collector. The context, when cancellable, is polled periodically
+// inside the event loop so long simulations can be aborted; a nil context
+// is treated as context.Background().
+func (w *World) Run(ctx context.Context, until sim.Time) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() != nil {
+		w.Eng.Interrupt = ctx.Err
+	} else {
+		// Clear any interrupt left by a previous phased run with a
+		// since-expired context.
+		w.Eng.Interrupt = nil
+	}
 	w.Collector.Begin(w.Eng.Now())
 	if err := w.Eng.Run(until); err != nil {
 		return err

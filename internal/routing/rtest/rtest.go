@@ -5,6 +5,7 @@
 package rtest
 
 import (
+	"context"
 	"testing"
 
 	"adhocsim/internal/geo"
@@ -99,7 +100,7 @@ func (h *Harness) SendMany(src, dst pkt.NodeID, n int, start sim.Time, gap sim.D
 // Run executes the simulation until the given number of simulated seconds.
 func (h *Harness) Run(seconds float64) {
 	h.T.Helper()
-	if err := h.World.Run(sim.At(seconds)); err != nil {
+	if err := h.World.Run(context.Background(), sim.At(seconds)); err != nil {
 		h.T.Fatal(err)
 	}
 }

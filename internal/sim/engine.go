@@ -70,6 +70,15 @@ type Engine struct {
 	// Limit, when non-zero, aborts Run with an error after this many events.
 	// It is a guard against runaway protocol loops in tests.
 	Limit uint64
+
+	// Interrupt, when non-nil, is polled every InterruptEvery events during
+	// Run; a non-nil return aborts Run with that error. This is how external
+	// cancellation (context.Context) reaches the event loop without putting
+	// a channel receive on the per-event hot path.
+	Interrupt func() error
+	// InterruptEvery is the polling period in events (0 selects a default
+	// of 4096, frequent enough for sub-millisecond cancellation latency).
+	InterruptEvery uint64
 }
 
 // NewEngine returns an empty engine with the clock at time zero.
@@ -128,6 +137,10 @@ func (e *Engine) Stop() { e.stopped = true }
 // still run. The clock is left at min(until, last event time).
 func (e *Engine) Run(until Time) error {
 	e.stopped = false
+	every := e.InterruptEvery
+	if every == 0 {
+		every = 4096
+	}
 	for len(e.queue) > 0 && !e.stopped {
 		ev := e.queue[0]
 		if ev.at > until {
@@ -142,6 +155,11 @@ func (e *Engine) Run(until Time) error {
 		e.Executed++
 		if e.Limit != 0 && e.Executed > e.Limit {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.Limit, e.now)
+		}
+		if e.Interrupt != nil && e.Executed%every == 0 {
+			if err := e.Interrupt(); err != nil {
+				return err
+			}
 		}
 		ev.fn()
 	}

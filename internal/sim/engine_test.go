@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -339,5 +340,46 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	b.ResetTimer()
 	if err := e.RunAll(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+func TestEngineInterrupt(t *testing.T) {
+	e := NewEngine()
+	e.InterruptEvery = 10
+	stop := errors.New("stop now")
+	var fired int
+	e.Interrupt = func() error {
+		if fired >= 25 {
+			return stop
+		}
+		return nil
+	}
+	var next func()
+	next = func() {
+		fired++
+		e.ScheduleIn(Microsecond, next)
+	}
+	e.ScheduleIn(Microsecond, next)
+	err := e.RunAll()
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want interrupt error", err)
+	}
+	// The poll period is 10 events, so the abort lands within one period
+	// of the trigger point.
+	if fired < 25 || fired > 40 {
+		t.Fatalf("fired %d events before interrupt took effect", fired)
+	}
+}
+
+func TestEngineInterruptNilNeverPolled(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.ScheduleIn(Microsecond, func() {})
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed != 100 {
+		t.Fatalf("executed %d", e.Executed)
 	}
 }

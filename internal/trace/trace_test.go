@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestEndToEndTracing(t *testing.T) {
 	w.Eng.Schedule(sim.At(1), func() {
 		w.Node(0).Originate(pkt.DataPacket(0, 2, 0, 64, sim.At(1)))
 	})
-	if err := w.Run(sim.At(3)); err != nil {
+	if err := w.Run(context.Background(), sim.At(3)); err != nil {
 		t.Fatal(err)
 	}
 	if cnt.Sends == 0 || cnt.Recvs == 0 || cnt.Delivers != 1 {

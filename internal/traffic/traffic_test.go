@@ -1,6 +1,7 @@
 package traffic_test
 
 import (
+	"context"
 	"testing"
 
 	"adhocsim/internal/mobility"
@@ -54,7 +55,7 @@ func TestCBRPacing(t *testing.T) {
 	}
 	w.Start()
 	// Run just past t=11 so the packet sent exactly at t=11 also lands.
-	if err := w.Run(sim.At(11.1)); err != nil {
+	if err := w.Run(context.Background(), sim.At(11.1)); err != nil {
 		t.Fatal(err)
 	}
 	// 4 pkt/s from t=1 to t=11: first at 1.0, then every 250 ms → 41.
@@ -78,7 +79,7 @@ func TestStopTimeHonored(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Start()
-	if err := w.Run(sim.At(20)); err != nil {
+	if err := w.Run(context.Background(), sim.At(20)); err != nil {
 		t.Fatal(err)
 	}
 	sent := srcs[0].Sent()
@@ -121,7 +122,7 @@ func TestHorizonStopsSources(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Start()
-	if err := w.Run(sim.At(10)); err != nil {
+	if err := w.Run(context.Background(), sim.At(10)); err != nil {
 		t.Fatal(err)
 	}
 	sent := srcs[0].Sent()
