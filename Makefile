@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test figs
+.PHONY: verify fmt vet build test figs bench bench-baseline race
 
 ## verify: the tier-1 gate — formatting, vet, build, tests.
 verify: fmt vet build test
@@ -23,3 +23,20 @@ test:
 ## figs: regenerate the scaled evaluation figures (text + CSV + JSON).
 figs:
 	$(GO) run ./cmd/adhocfigs -json
+
+## race: the short test suite under the race detector.
+race:
+	$(GO) test -race -short ./...
+
+## bench: smoke-scale benchmarks (1 iteration each, shape check).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench-baseline: record the committed benchmark baseline as JSON (same
+## ./... scope the CI bench-smoke step runs, so the two are comparable).
+## Two steps, not a pipe, so a benchmark failure fails the target.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > bench.out.tmp
+	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_baseline.json
+	@rm -f bench.out.tmp
+	@echo wrote BENCH_baseline.json

@@ -144,6 +144,11 @@ type Figure = core.Figure
 // MacConfig tunes the 802.11 MAC (queue limit, RTS threshold).
 type MacConfig = mac.Config
 
+// PhyConfig tunes the channel's transmit fast path: the spatial-index
+// neighbourhood query (default) versus the legacy brute-force loop, and the
+// index's reindex cadence. See RunConfig.Phy.
+type PhyConfig = phy.Config
+
 // Protocol-extension surface: the types an external routing protocol
 // implements against, re-exported so registrations need no internal
 // imports.
@@ -237,6 +242,7 @@ func Grid(ctx context.Context, opts Options, axes ...Axis) (*GridResult, error) 
 // canonical defaults.
 func PauseAxis(vs []float64) Axis     { return core.PauseAxis(vs) }
 func NodesAxis(vs []float64) Axis     { return core.NodesAxis(vs) }
+func ScaleAxis(vs []float64) Axis     { return core.ScaleAxis(vs) }
 func RateAxis(vs []float64) Axis      { return core.RateAxis(vs) }
 func SpeedAxis(vs []float64) Axis     { return core.SpeedAxis(vs) }
 func SourcesAxis(vs []float64) Axis   { return core.SourcesAxis(vs) }

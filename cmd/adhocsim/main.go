@@ -38,6 +38,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print drop census and overhead breakdown")
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text")
 		traceFile = flag.String("trace", "", "write an ns-2-style packet trace to this file (single seed only)")
+		brute     = flag.Bool("brute", false, "disable the spatial-index transmit path (legacy O(N) loop)")
 	)
 	flag.Parse()
 
@@ -59,7 +60,11 @@ func main() {
 	for i := 0; i < *seeds; i++ {
 		seedList = append(seedList, *seed+int64(i))
 	}
-	rc := adhocsim.RunConfig{Spec: spec, Protocol: strings.ToUpper(*proto)}
+	rc := adhocsim.RunConfig{
+		Spec:     spec,
+		Protocol: strings.ToUpper(*proto),
+		Phy:      adhocsim.PhyConfig{BruteForce: *brute},
+	}
 	if *traceFile != "" {
 		if *seeds != 1 {
 			fmt.Fprintln(os.Stderr, "adhocsim: -trace requires -seeds 1")

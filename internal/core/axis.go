@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -91,6 +92,25 @@ func NodesAxis(vs []float64) Axis {
 	}}
 }
 
+// ScaleAxis sweeps the node count at constant node density: the simulation
+// area grows with N so that adding nodes extends the multi-hop topology
+// instead of melting the MAC. This is the large-N axis the spatial-index
+// transmit path exists for; the default points reach well beyond the
+// study's 40-node scenes.
+func ScaleAxis(vs []float64) Axis {
+	if vs == nil {
+		vs = []float64{50, 100, 200, 350, 500}
+	}
+	return Axis{Label: "nodes_scaled", Values: vs, Apply: func(s *scenario.Spec, x float64) {
+		if s.Nodes > 0 {
+			k := math.Sqrt(x / float64(s.Nodes))
+			s.Area.W *= k
+			s.Area.H *= k
+		}
+		s.Nodes = int(x)
+	}}
+}
+
 // RateAxis sweeps the per-connection packet rate in packets/s (Figure 7).
 func RateAxis(vs []float64) Axis {
 	if vs == nil {
@@ -174,6 +194,7 @@ func PayloadAxis(vs []float64) Axis {
 var axisConstructors = map[string]func([]float64) Axis{
 	"pause":   PauseAxis,
 	"nodes":   NodesAxis,
+	"scale":   ScaleAxis,
 	"rate":    RateAxis,
 	"speed":   SpeedAxis,
 	"sources": SourcesAxis,

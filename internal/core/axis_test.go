@@ -233,3 +233,29 @@ func TestSweepRejectsInvalidAxis(t *testing.T) {
 		t.Fatal("empty density list accepted")
 	}
 }
+
+func TestScaleAxisHoldsDensity(t *testing.T) {
+	base := scenario.Default() // 40 nodes over 1500×300
+	density := float64(base.Nodes) / base.Area.Area()
+	a := ScaleAxis(nil)
+	if a.Label != "nodes_scaled" {
+		t.Fatalf("label = %q", a.Label)
+	}
+	for _, x := range []float64{50, 200, 500} {
+		s := base
+		a.Apply(&s, x)
+		if s.Nodes != int(x) {
+			t.Fatalf("nodes = %d, want %d", s.Nodes, int(x))
+		}
+		got := float64(s.Nodes) / s.Area.Area()
+		if rel := (got - density) / density; rel > 0.01 || rel < -0.01 {
+			t.Fatalf("x=%v: density %.3g, want %.3g (area %+v)", x, got, density, s.Area)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("x=%v: scaled spec invalid: %v", x, err)
+		}
+	}
+	if _, err := AxisByName("scale", nil); err != nil {
+		t.Fatalf("scale axis not in catalogue: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"adhocsim/internal/geo"
@@ -111,18 +112,79 @@ func TestProactiveProtocolsBeacon(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	// All five study protocols, including CBRP (whose neighbour-table
+	// accessors historically leaked Go's randomised map order into route
+	// repair, making runs diverge) and PAODV.
 	spec := smallSpec()
-	for _, proto := range []string{DSR, AODV, DSDV} {
-		a := runOne(t, spec, proto, 42)
-		b := runOne(t, spec, proto, 42)
-		if a.DataSent != b.DataSent || a.DataDelivered != b.DataDelivered ||
-			a.RoutingTxPackets != b.RoutingTxPackets || a.AvgDelay != b.AvgDelay {
-			t.Fatalf("%s: same seed, different results: %+v vs %+v", proto, a, b)
-		}
-		c := runOne(t, spec, proto, 43)
-		if a.DataDelivered == c.DataDelivered && a.RoutingTxPackets == c.RoutingTxPackets &&
-			a.AvgDelay == c.AvgDelay {
-			t.Fatalf("%s: different seeds produced identical results (suspicious)", proto)
+	for _, proto := range StudyProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			a := runOne(t, spec, proto, 42)
+			b := runOne(t, spec, proto, 42)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: same seed, different results: %+v vs %+v", proto, a, b)
+			}
+			c := runOne(t, spec, proto, 43)
+			if a.DataDelivered == c.DataDelivered && a.RoutingTxPackets == c.RoutingTxPackets &&
+				a.AvgDelay == c.AvgDelay {
+				t.Fatalf("%s: different seeds produced identical results (suspicious)", proto)
+			}
+		})
+	}
+}
+
+// TestGridBruteforceParityEndToEnd runs whole random scenarios with the
+// spatial index on and off and requires every metric to come out
+// bit-identical — delivery, collision and capture accounting included (all
+// of them feed the Results fields compared here).
+func TestGridBruteforceParityEndToEnd(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*scenario.Spec)
+		seed int64
+	}{
+		{"study-mobile", func(s *scenario.Spec) {}, 5},
+		{"sparse-wide", func(s *scenario.Spec) {
+			s.Nodes = 35
+			s.Area = geo.Rect{W: 3000, H: 2000}
+			s.TxRange = 150
+		}, 6},
+		{"short-range-fast", func(s *scenario.Spec) {
+			s.TxRange = 120
+			s.MaxSpeed = 30
+		}, 7},
+		{"static-dense", func(s *scenario.Spec) {
+			s.MaxSpeed = 0
+			s.MinSpeed = 0
+			s.Nodes = 30
+			s.Area = geo.Rect{W: 700, H: 300}
+		}, 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		for _, proto := range []string{DSR, AODV, CBRP} {
+			proto := proto
+			t.Run(tc.name+"/"+proto, func(t *testing.T) {
+				t.Parallel()
+				spec := smallSpec()
+				spec.Duration = 40 * sim.Second
+				tc.mut(&spec)
+				grid, err := Run(context.Background(), RunConfig{Spec: spec, Protocol: proto, Seed: tc.seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				brute, err := Run(context.Background(), RunConfig{
+					Spec: spec, Protocol: proto, Seed: tc.seed,
+					Phy: phy.Config{BruteForce: true},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(grid, brute) {
+					t.Fatalf("spatial index changed results:\ngrid:  %+v\nbrute: %+v", grid, brute)
+				}
+			})
 		}
 	}
 }

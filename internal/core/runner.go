@@ -20,6 +20,7 @@ import (
 
 	"adhocsim/internal/mac"
 	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
 	"adhocsim/internal/routing/aodv"
 	"adhocsim/internal/routing/cbrp"
 	"adhocsim/internal/routing/dsdv"
@@ -63,7 +64,11 @@ type RunConfig struct {
 	Protocol string
 	Seed     int64
 	Mac      mac.Config
-	Tweaks   ProtocolTweaks
+	// Phy tunes the channel's transmit fast path (spatial index vs the
+	// legacy brute-force loop); the zero value selects the index with
+	// world-derived reindexing defaults.
+	Phy    phy.Config
+	Tweaks ProtocolTweaks
 	// EventLimit guards against runaway loops (0 = a generous default
 	// scaled by duration and node count).
 	EventLimit uint64
@@ -96,6 +101,7 @@ func Run(ctx context.Context, rc RunConfig) (stats.Results, error) {
 	world, err := network.NewWorld(network.Config{
 		Tracks:   inst.Tracks,
 		Radio:    inst.Radio,
+		Phy:      rc.Phy,
 		Mac:      rc.Mac,
 		Protocol: factory,
 		Seed:     rc.Seed ^ 0x5eed,

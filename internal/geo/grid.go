@@ -6,14 +6,22 @@ package geo
 // not depend on it.
 //
 // The grid uses open hashing on (cx,cy) cell coordinates so it handles
-// unbounded coordinates (nodes may briefly leave the nominal area).
+// unbounded coordinates (nodes may briefly leave the nominal area). Each
+// cell stores (id, position) pairs so that range queries touch no hash
+// table beyond the per-cell lookup — the inner distance test runs over a
+// contiguous slice.
 type Grid struct {
 	cell  float64
-	cells map[cellKey][]int32
+	cells map[cellKey][]gridItem
 	pos   map[int32]Point
 }
 
 type cellKey struct{ cx, cy int32 }
+
+type gridItem struct {
+	id int32
+	p  Point
+}
 
 // NewGrid creates a grid with the given cell edge length in metres.
 func NewGrid(cellSize float64) *Grid {
@@ -22,7 +30,7 @@ func NewGrid(cellSize float64) *Grid {
 	}
 	return &Grid{
 		cell:  cellSize,
-		cells: make(map[cellKey][]int32),
+		cells: make(map[cellKey][]gridItem),
 		pos:   make(map[int32]Point),
 	}
 }
@@ -46,13 +54,20 @@ func (g *Grid) Insert(id int32, p Point) {
 		ko, kn := g.key(old), g.key(p)
 		if ko == kn {
 			g.pos[id] = p
+			items := g.cells[ko]
+			for i := range items {
+				if items[i].id == id {
+					items[i].p = p
+					break
+				}
+			}
 			return
 		}
 		g.removeFromCell(ko, id)
 	}
 	g.pos[id] = p
 	k := g.key(p)
-	g.cells[k] = append(g.cells[k], id)
+	g.cells[k] = append(g.cells[k], gridItem{id: id, p: p})
 }
 
 // Move updates an item's position. It panics if the id is unknown.
@@ -75,8 +90,8 @@ func (g *Grid) Remove(id int32) {
 
 func (g *Grid) removeFromCell(k cellKey, id int32) {
 	items := g.cells[k]
-	for i, v := range items {
-		if v == id {
+	for i := range items {
+		if items[i].id == id {
 			items[i] = items[len(items)-1]
 			items = items[:len(items)-1]
 			break
@@ -100,24 +115,54 @@ func (g *Grid) Len() int { return len(g.pos) }
 
 // Within appends to dst the ids of all items with Dist(center) <= r,
 // excluding exclude (pass a negative id to exclude nothing), and returns the
-// extended slice. Results are in arbitrary order.
+// extended slice. Results are in arbitrary order; use WithinSorted when the
+// caller needs a deterministic visiting order.
 func (g *Grid) Within(center Point, r float64, exclude int32, dst []int32) []int32 {
 	r2 := r * r
 	lo := g.key(Point{center.X - r, center.Y - r})
 	hi := g.key(Point{center.X + r, center.Y + r})
 	for cx := lo.cx; cx <= hi.cx; cx++ {
 		for cy := lo.cy; cy <= hi.cy; cy++ {
-			for _, id := range g.cells[cellKey{cx, cy}] {
-				if id == exclude {
+			for _, it := range g.cells[cellKey{cx, cy}] {
+				if it.id == exclude {
 					continue
 				}
-				if g.pos[id].Dist2(center) <= r2 {
-					dst = append(dst, id)
+				if it.p.Dist2(center) <= r2 {
+					dst = append(dst, it.id)
 				}
 			}
 		}
 	}
 	return dst
+}
+
+// WithinSorted is Within with the results sorted ascending by id — the
+// deterministic neighbourhood query: independent of insertion history and
+// cell hashing, the caller visits candidates in the same order a dense
+// id-ordered scan would. Sorting is an allocation-free insertion sort: the
+// result is a near-sorted handful of ids (one short ascending run per
+// visited cell), the regime where insertion sort beats the libraries.
+func (g *Grid) WithinSorted(center Point, r float64, exclude int32, dst []int32) []int32 {
+	start := len(dst)
+	dst = g.Within(center, r, exclude, dst)
+	insertionSortIDs(dst[start:])
+	return dst
+}
+
+// insertionSortIDs sorts a small id slice ascending in place without
+// allocating — the regime of grid query results (a handful of ids, one
+// short ascending run per visited cell), where insertion sort beats the
+// libraries. Shared by Grid and FlatGrid.
+func insertionSortIDs(ids []int32) {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
 }
 
 // ForEach visits every stored item.

@@ -1,0 +1,64 @@
+package mobility
+
+import (
+	"sort"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/sim"
+)
+
+// Cursor is a stateful position reader over one Track, built for the hot
+// lookup path of the radio channel. It memoises the last query: within one
+// virtual timestamp (epoch) a node's position is computed at most once, no
+// matter how many transmissions probe it. It also keeps a segment-index
+// hint so that the usual monotonically advancing queries skip the binary
+// search of Track.At.
+//
+// A Cursor belongs to one single-threaded simulation world; the underlying
+// Track stays immutable and shareable.
+type Cursor struct {
+	tr  *Track
+	seg int // index of the segment used by the last query
+
+	epoch   sim.Time // timestamp of the memoised position
+	pos     geo.Point
+	primed  bool
+	Lookups uint64 // total queries (diagnostics)
+	Misses  uint64 // queries that had to recompute (diagnostics)
+}
+
+// NewCursor creates a cursor over tr.
+func NewCursor(tr *Track) *Cursor {
+	return &Cursor{tr: tr}
+}
+
+// Track returns the underlying immutable track.
+func (c *Cursor) Track() *Track { return c.tr }
+
+// At returns the node position at time t. Repeated queries at the same
+// timestamp return the memoised value; queries at a new timestamp advance
+// (or, for out-of-order probes, re-seek) the segment hint and recompute.
+func (c *Cursor) At(t sim.Time) geo.Point {
+	c.Lookups++
+	if c.primed && t == c.epoch {
+		return c.pos
+	}
+	c.Misses++
+	segs := c.tr.segs
+	if t < segs[c.seg].Start {
+		// Out-of-order probe (rare): re-seek from scratch.
+		i := sort.Search(len(segs), func(i int) bool { return segs[i].Start > t })
+		if i == 0 {
+			i = 1
+		}
+		c.seg = i - 1
+	} else {
+		for c.seg+1 < len(segs) && segs[c.seg+1].Start <= t {
+			c.seg++
+		}
+	}
+	c.epoch = t
+	c.pos = segs[c.seg].posAt(t)
+	c.primed = true
+	return c.pos
+}

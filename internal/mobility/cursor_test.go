@@ -1,0 +1,79 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/sim"
+)
+
+func randomTrack(t *testing.T, seed int64) *Track {
+	t.Helper()
+	m := RandomWaypoint{Area: geo.Rect{W: 1000, H: 500}, MinSpeed: 1, MaxSpeed: 20, Pause: 2 * sim.Second}
+	tracks, err := m.Generate(1, 300*sim.Second, sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tracks[0]
+}
+
+func TestCursorMatchesTrackMonotone(t *testing.T) {
+	tr := randomTrack(t, 1)
+	c := NewCursor(tr)
+	for s := 0.0; s < 320; s += 0.37 {
+		at := sim.At(s)
+		if got, want := c.At(at), tr.At(at); got != want {
+			t.Fatalf("t=%v: cursor %v, track %v", at, got, want)
+		}
+	}
+}
+
+func TestCursorMatchesTrackRandomOrder(t *testing.T) {
+	tr := randomTrack(t, 2)
+	c := NewCursor(tr)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		at := sim.At(rng.Float64() * 320)
+		if got, want := c.At(at), tr.At(at); got != want {
+			t.Fatalf("t=%v: cursor %v, track %v", at, got, want)
+		}
+	}
+}
+
+func TestCursorMemoisesPerTimestamp(t *testing.T) {
+	tr := randomTrack(t, 3)
+	c := NewCursor(tr)
+	at := sim.At(42.5)
+	c.At(at)
+	misses := c.Misses
+	for i := 0; i < 10; i++ {
+		c.At(at)
+	}
+	if c.Misses != misses {
+		t.Fatalf("repeated same-timestamp queries recomputed: misses %d → %d", misses, c.Misses)
+	}
+	if c.Lookups != misses+10 {
+		t.Fatalf("lookups = %d, want %d", c.Lookups, misses+10)
+	}
+}
+
+func TestTrackMaxSpeed(t *testing.T) {
+	tr := MustTrack([]Segment{
+		{Start: 0, From: geo.Pt(0, 0), To: geo.Pt(100, 0), Speed: 5},
+		{Start: sim.At(20), From: geo.Pt(100, 0), To: geo.Pt(0, 0), Speed: 12.5},
+	})
+	if got := tr.MaxSpeed(); got != 12.5 {
+		t.Fatalf("MaxSpeed = %v", got)
+	}
+	static := Static(geo.Pt(1, 1))
+	if got := static.MaxSpeed(); got != 0 {
+		t.Fatalf("static MaxSpeed = %v", got)
+	}
+	if got := MaxTrackSpeed([]*Track{tr, static}); got != 12.5 {
+		t.Fatalf("MaxTrackSpeed = %v", got)
+	}
+	if got := MaxTrackSpeed(nil); got != 0 {
+		t.Fatalf("MaxTrackSpeed(nil) = %v", got)
+	}
+}

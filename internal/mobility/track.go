@@ -63,7 +63,12 @@ func Static(p geo.Point) *Track {
 
 // At returns the node position at time t.
 func (tr *Track) At(t sim.Time) geo.Point {
-	s := tr.segmentAt(t)
+	return tr.segmentAt(t).posAt(t)
+}
+
+// posAt evaluates the position within this segment at time t (t must be at
+// or after the segment's Start).
+func (s Segment) posAt(t sim.Time) geo.Point {
 	if s.Speed == 0 {
 		return s.From
 	}
@@ -73,6 +78,30 @@ func (tr *Track) At(t sim.Time) geo.Point {
 		return s.To
 	}
 	return s.From.Lerp(s.To, dist/total)
+}
+
+// MaxSpeed returns the fastest speed over the whole schedule — an upper
+// bound on how far the node can drift per unit time, used by the radio
+// channel to pad spatial-index queries between reindexes.
+func (tr *Track) MaxSpeed() float64 {
+	max := 0.0
+	for _, s := range tr.segs {
+		if s.Speed > max {
+			max = s.Speed
+		}
+	}
+	return max
+}
+
+// MaxTrackSpeed returns the fastest speed across all tracks.
+func MaxTrackSpeed(tracks []*Track) float64 {
+	max := 0.0
+	for _, tr := range tracks {
+		if v := tr.MaxSpeed(); v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // VelocityAt returns the node's velocity vector (m/s) at time t.

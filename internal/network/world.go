@@ -20,8 +20,13 @@ type ProtocolFactory func(id pkt.NodeID) Protocol
 
 // Config assembles a World.
 type Config struct {
-	Tracks   []*mobility.Track
-	Radio    phy.RadioParams
+	Tracks []*mobility.Track
+	Radio  phy.RadioParams
+	// Phy tunes the channel's transmit fast path. NewWorld fills the
+	// defaults the zero value leaves open: a 1 s reindex interval and a
+	// speed bound derived from the fastest track segment, so the spatial
+	// index can never miss a receiver between reindexes.
+	Phy      phy.Config
 	Mac      mac.Config
 	Protocol ProtocolFactory
 	// Seed drives every stochastic element below the scenario layer
@@ -60,15 +65,32 @@ func NewWorld(cfg Config) (*World, error) {
 		Oracle:    cfg.Oracle,
 		Tracer:    cfg.Tracer,
 	}
-	w.Channel = phy.NewChannel(w.Eng, cfg.Radio)
+	phyCfg := cfg.Phy
+	if !phyCfg.BruteForce {
+		if phyCfg.ReindexInterval <= 0 {
+			phyCfg.ReindexInterval = sim.Second
+		}
+		// The speed bound is a correctness input (it pads the index's
+		// query radius), so a caller-supplied value below what the
+		// tracks can actually do is raised, never trusted; and only the
+		// tracks themselves can prove a scenario static.
+		bound := mobility.MaxTrackSpeed(cfg.Tracks)
+		if phyCfg.SpeedBound < bound {
+			phyCfg.SpeedBound = bound
+		}
+		phyCfg.Static = bound == 0
+	}
+	w.Channel = phy.NewChannelWithConfig(w.Eng, cfg.Radio, phyCfg)
 	root := sim.NewRNG(cfg.Seed)
 	for i, tr := range cfg.Tracks {
 		id := pkt.NodeID(i)
 		n := &Node{id: id, world: w, Track: tr}
 		nodeRNG := root.Fork(int64(i))
 		n.rng = nodeRNG.ForkNamed("proto")
-		track := tr
-		n.Radio = w.Channel.AttachRadio(id, track.At, nil)
+		// The cursor memoises the track lookup per virtual timestamp, so
+		// a position is computed at most once per event no matter how
+		// many transmissions probe this node.
+		n.Radio = w.Channel.AttachRadio(id, mobility.NewCursor(tr).At, nil)
 		n.Mac = mac.New(w.Eng, id, n.Radio, n, nodeRNG.ForkNamed("mac"), cfg.Mac)
 		n.Radio.SetReceiver(n.Mac)
 		n.Proto = cfg.Protocol(id)

@@ -21,13 +21,61 @@ type Receiver interface {
 	OnChannelIdle()
 }
 
+// Config tunes the channel's transmit fast path. The zero value enables the
+// spatial index with exact (per-timestamp) reindexing, which is always
+// correct; callers whose nodes move should set ReindexInterval and
+// SpeedBound to amortise the reindex cost (network.NewWorld does).
+type Config struct {
+	// BruteForce disables the spatial index and restores the legacy
+	// all-radios transmit loop. Kept for parity testing and for custom
+	// propagation models whose power is not monotone in distance (the
+	// index prunes by distance and would miss such a model's far-field
+	// lobes).
+	BruteForce bool
+	// ReindexInterval bounds how stale the indexed positions may grow
+	// before the channel re-captures every radio's position. Zero means
+	// "reindex whenever the clock moved": exact positions, no query
+	// slack, O(N) work per distinct transmit timestamp.
+	ReindexInterval sim.Duration
+	// SpeedBound is the maximum node speed in m/s. With a non-zero
+	// ReindexInterval the neighbourhood query is padded by
+	// SpeedBound×ReindexInterval so that nodes that moved since the last
+	// reindex cannot be missed. The channel cannot verify the bound, so a
+	// non-positive value together with a positive ReindexInterval falls
+	// back to exact per-timestamp reindexing rather than risk a stale
+	// index (set Static instead when positions provably never change).
+	SpeedBound float64
+	// Static declares that no position function ever returns a different
+	// point, so the index is built once and never refreshed. Set by
+	// network.NewWorld when the fastest track segment has speed zero.
+	Static bool
+}
+
 // Channel is the shared wireless medium. It connects all radios of a run and
 // delivers each transmission to every radio whose received power exceeds the
 // carrier-sense threshold, after the speed-of-light propagation delay.
+//
+// Candidate receivers are found through a uniform spatial hash keyed at the
+// carrier-sense range rather than a scan of all N radios: each transmission
+// visits only the grid cells overlapping the padded carrier-sense disc, in
+// NodeID order, so results are bit-identical to the brute-force loop while
+// the per-transmission cost drops from O(N) to O(neighbourhood).
 type Channel struct {
 	eng    *sim.Engine
 	params RadioParams
+	cfg    Config
 	radios []*Radio // indexed by NodeID
+
+	grid        *geo.FlatGrid
+	lastIndex   sim.Time // virtual time of the last reindex
+	indexed     bool
+	csRange     float64     // carrier-sense range implied by params (cached)
+	queryRadius float64     // csRange + movement slack
+	pts         []geo.Point // reusable position buffer for reindex
+	scratch     []int32     // reusable candidate buffer
+	arrivalPool []*arrivalEvent
+	rxPool      []*receptionEvent
+	Reindexes   uint64 // spatial-index rebuilds (diagnostics)
 
 	// Stats (aggregated across all radios).
 	Transmissions uint64
@@ -36,12 +84,19 @@ type Channel struct {
 	Captures      uint64
 }
 
-// NewChannel creates an empty medium.
+// NewChannel creates an empty medium with the default Config (spatial index
+// on, exact reindexing).
 func NewChannel(eng *sim.Engine, params RadioParams) *Channel {
+	return NewChannelWithConfig(eng, params, Config{})
+}
+
+// NewChannelWithConfig creates an empty medium with an explicit fast-path
+// configuration.
+func NewChannelWithConfig(eng *sim.Engine, params RadioParams, cfg Config) *Channel {
 	if params.CaptureRatio <= 1 {
 		panic("phy: capture ratio must exceed 1")
 	}
-	return &Channel{eng: eng, params: params}
+	return &Channel{eng: eng, params: params, cfg: cfg}
 }
 
 // Params returns the channel's physical-layer constants.
@@ -49,7 +104,7 @@ func (c *Channel) Params() RadioParams { return c.params }
 
 // AttachRadio creates and registers the radio for node id. Radios must be
 // attached in id order starting from 0. pos reports the node's position at
-// any virtual time (typically a mobility track lookup).
+// any virtual time (typically a mobility cursor lookup).
 func (c *Channel) AttachRadio(id pkt.NodeID, pos func(sim.Time) geo.Point, rcv Receiver) *Radio {
 	if int(id) != len(c.radios) {
 		panic(fmt.Sprintf("phy: radios must be attached densely; got id %v with %d attached", id, len(c.radios)))
@@ -65,34 +120,125 @@ func (c *Channel) Radio(id pkt.NodeID) *Radio { return c.radios[id] }
 // NumRadios returns the number of attached radios.
 func (c *Channel) NumRadios() int { return len(c.radios) }
 
+// reindex re-captures every radio's position into the grid at time now,
+// building the grid on first use (cell size = one padded CS range, so a
+// query box spans at most 3×3 cells).
+func (c *Channel) reindex(now sim.Time) {
+	if c.grid == nil {
+		c.csRange = c.params.CSRange()
+		slack := c.cfg.SpeedBound * c.cfg.ReindexInterval.Seconds()
+		if slack < 0 {
+			// A negative bound or interval must never shrink the query
+			// below the carrier-sense range.
+			slack = 0
+		}
+		// The slack keeps moved nodes inside the query disc; the extra
+		// metre absorbs float rounding between the bisected range and
+		// the exact per-candidate power test that follows.
+		c.queryRadius = c.csRange + slack + 1.0
+		c.grid = geo.NewFlatGrid(c.queryRadius)
+	}
+	if cap(c.pts) < len(c.radios) {
+		c.pts = make([]geo.Point, len(c.radios))
+	}
+	c.pts = c.pts[:len(c.radios)]
+	for i, r := range c.radios {
+		c.pts[i] = r.pos(now)
+	}
+	c.grid.Rebuild(c.pts)
+	c.lastIndex = now
+	c.indexed = true
+	c.Reindexes++
+}
+
+// needReindex reports whether the indexed positions are too stale to answer
+// a query at time now.
+func (c *Channel) needReindex(now sim.Time) bool {
+	if !c.indexed || c.grid.Len() != len(c.radios) {
+		return true
+	}
+	if c.cfg.Static {
+		// Positions provably never change: the first index is forever.
+		return false
+	}
+	if c.cfg.ReindexInterval <= 0 || c.cfg.SpeedBound <= 0 {
+		// No interval — or an interval without a speed bound to pad the
+		// query with: reindex whenever the clock moved (always exact).
+		return now != c.lastIndex
+	}
+	return now.Sub(c.lastIndex) >= c.cfg.ReindexInterval
+}
+
 // transmit propagates a frame from r to every radio in carrier-sense range.
 func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
 	now := c.eng.Now()
 	c.Transmissions++
 	from := r.pos(now)
-	for _, o := range c.radios {
-		if o == r {
-			continue
+	if c.cfg.BruteForce {
+		for _, o := range c.radios {
+			if o == r {
+				continue
+			}
+			c.propagate(r, o, from, payload, dur, now)
 		}
-		d := o.pos(now).Dist(from)
-		power := c.params.Prop.RxPower(c.params.TxPower, d)
-		if power < c.params.CSThreshold {
-			continue
-		}
-		propDelay := sim.Seconds(d / SpeedOfLight)
-		if propDelay < sim.Nanosecond {
-			propDelay = sim.Nanosecond
-		}
-		o := o
-		c.eng.ScheduleIn(propDelay, func() {
-			o.beginArrival(arrival{
-				payload: payload,
-				from:    r.id,
-				power:   power,
-				end:     c.eng.Now().Add(dur),
-			})
-		})
+		return
 	}
+	if c.needReindex(now) {
+		c.reindex(now)
+	}
+	c.scratch = c.grid.WithinSorted(from, c.queryRadius, int32(r.id), c.scratch[:0])
+	for _, id := range c.scratch {
+		c.propagate(r, c.radios[id], from, payload, dur, now)
+	}
+}
+
+// arrivalEvent is a pooled in-flight transmission leg: the scheduling
+// closure is created once per pooled struct, so steady-state propagation
+// allocates nothing.
+type arrivalEvent struct {
+	ch   *Channel
+	o    *Radio
+	a    arrival
+	dur  sim.Duration
+	fire sim.EventFunc
+}
+
+func (c *Channel) allocArrival() *arrivalEvent {
+	if n := len(c.arrivalPool); n > 0 {
+		ae := c.arrivalPool[n-1]
+		c.arrivalPool[n-1] = nil
+		c.arrivalPool = c.arrivalPool[:n-1]
+		return ae
+	}
+	ae := &arrivalEvent{ch: c}
+	ae.fire = func() {
+		a := ae.a
+		a.end = ae.ch.eng.Now().Add(ae.dur)
+		o := ae.o
+		ae.o, ae.a.payload = nil, nil
+		ae.ch.arrivalPool = append(ae.ch.arrivalPool, ae)
+		o.beginArrival(a)
+	}
+	return ae
+}
+
+// propagate delivers one transmission leg sender→o if the received power
+// clears the carrier-sense threshold.
+func (c *Channel) propagate(sender, o *Radio, from geo.Point, payload any, dur sim.Duration, now sim.Time) {
+	d := o.pos(now).Dist(from)
+	power := c.params.Prop.RxPower(c.params.TxPower, d)
+	if power < c.params.CSThreshold {
+		return
+	}
+	propDelay := sim.Seconds(d / SpeedOfLight)
+	if propDelay < sim.Nanosecond {
+		propDelay = sim.Nanosecond
+	}
+	ae := c.allocArrival()
+	ae.o = o
+	ae.dur = dur
+	ae.a = arrival{payload: payload, from: sender.id, power: power}
+	c.eng.ScheduleIn(propDelay, ae.fire)
 }
 
 // InRange reports whether b currently receives a's transmissions (power at

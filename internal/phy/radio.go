@@ -32,6 +32,7 @@ type Radio struct {
 	rx        *arrival // reception in progress, if any
 
 	watchdogArmed bool
+	watchdogFn    sim.EventFunc // cached method value (armed per busy edge)
 	notifiedBusy  bool
 
 	// Stats.
@@ -129,10 +130,39 @@ func (r *Radio) beginArrival(a arrival) {
 	}
 }
 
+// receptionEvent is a pooled in-progress reception: the end-of-frame
+// closure is created once per pooled struct. The arrival lives inside the
+// struct so r.rx and the corrupting writers share one instance; the struct
+// returns to the pool when its end event fires.
+type receptionEvent struct {
+	r    *Radio
+	a    arrival
+	fire sim.EventFunc
+}
+
+func (c *Channel) allocReception() *receptionEvent {
+	if n := len(c.rxPool); n > 0 {
+		re := c.rxPool[n-1]
+		c.rxPool[n-1] = nil
+		c.rxPool = c.rxPool[:n-1]
+		return re
+	}
+	re := &receptionEvent{}
+	re.fire = func() {
+		r := re.r
+		r.finishReception(&re.a)
+		re.r, re.a = nil, arrival{}
+		r.ch.rxPool = append(r.ch.rxPool, re)
+	}
+	return re
+}
+
 func (r *Radio) startReception(a arrival) {
-	ac := a
-	r.rx = &ac
-	r.ch.eng.Schedule(a.end, func() { r.finishReception(&ac) })
+	re := r.ch.allocReception()
+	re.r = r
+	re.a = a
+	r.rx = &re.a
+	r.ch.eng.Schedule(a.end, re.fire)
 }
 
 func (r *Radio) finishReception(a *arrival) {
@@ -180,7 +210,10 @@ func (r *Radio) armWatchdog() {
 		return
 	}
 	r.watchdogArmed = true
-	r.ch.eng.Schedule(until, r.watchdogFire)
+	if r.watchdogFn == nil {
+		r.watchdogFn = r.watchdogFire
+	}
+	r.ch.eng.Schedule(until, r.watchdogFn)
 }
 
 func (r *Radio) watchdogFire() {

@@ -8,6 +8,8 @@
 package cbrp
 
 import (
+	"slices"
+
 	"adhocsim/internal/network"
 	"adhocsim/internal/pkt"
 	"adhocsim/internal/routing"
@@ -164,13 +166,10 @@ func (c *CBRP) Start(env network.Env) {
 // Status exposes the clustering role (tests/diagnostics).
 func (c *CBRP) Status() NodeStatus { return c.status }
 
-// Heads exposes the current cluster heads of this node (tests/diagnostics).
+// Heads exposes the current cluster heads of this node, sorted ascending
+// (tests/diagnostics).
 func (c *CBRP) Heads() []pkt.NodeID {
-	out := make([]pkt.NodeID, 0, len(c.myHeads))
-	for h := range c.myHeads {
-		out = append(out, h)
-	}
-	return out
+	return c.headSet()
 }
 
 // --- beaconing & clustering -----------------------------------------------
@@ -207,9 +206,7 @@ func (c *CBRP) refreshRole() {
 		c.status = electStatus(me, c.neighbors)
 	}
 	// Recompute cluster membership.
-	for k := range c.myHeads {
-		delete(c.myHeads, k)
-	}
+	clear(c.myHeads)
 	if c.status == Head {
 		c.myHeads[me] = true
 		return
@@ -240,10 +237,14 @@ func (c *CBRP) shouldReflood() bool {
 }
 
 func (c *CBRP) headSet() []pkt.NodeID {
+	if len(c.myHeads) == 0 {
+		return nil
+	}
 	out := make([]pkt.NodeID, 0, len(c.myHeads))
 	for h := range c.myHeads {
 		out = append(out, h)
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -544,6 +545,16 @@ func (c *CBRP) localRepair(p *pkt.Packet, failed pkt.NodeID) bool {
 	}
 	targets = append(targets, p.SrcRoute[idx+1])
 	now := c.env.Now()
+	// Candidate bridging neighbours, visited from a random starting point
+	// and built lazily (the direct-repair branch usually wins first).
+	// The rotation matters: always preferring the lowest id lets two
+	// repairing nodes splice each other into a stable forwarding cycle
+	// (the packet ping-pongs until its TTL dies, at every retry, forever),
+	// while a deterministic RNG draw breaks such cycles the way Go's
+	// randomised map iteration used to — without the cross-process
+	// nondeterminism that came with it.
+	var vias []pkt.NodeID
+	off := -1
 	for _, tgt := range targets {
 		// Direct (fresh) neighbour?
 		if tgt != failed && c.neighbors.fresh(tgt, now, c.cfg.HelloInterval) {
@@ -553,7 +564,15 @@ func (c *CBRP) localRepair(p *pkt.Packet, failed pkt.NodeID) bool {
 			return true
 		}
 		// Via an intermediate fresh neighbour?
-		for _, via := range c.neighbors.ids() {
+		if off < 0 {
+			vias = c.neighbors.ids()
+			off = 0
+			if len(vias) > 1 {
+				off = c.env.RNG().Intn(len(vias))
+			}
+		}
+		for k := range vias {
+			via := vias[(k+off)%len(vias)]
 			if via == failed || !c.neighbors.fresh(via, now, c.cfg.HelloInterval) {
 				continue
 			}

@@ -1,6 +1,8 @@
 package cbrp
 
 import (
+	"slices"
+
 	"adhocsim/internal/pkt"
 	"adhocsim/internal/sim"
 )
@@ -60,6 +62,9 @@ func (t *neighborTable) update(h *hello, from pkt.NodeID, now, expiry sim.Time) 
 
 // expire drops stale rows.
 func (t *neighborTable) expire(now sim.Time) {
+	if len(t.rows) == 0 {
+		return
+	}
 	for id, r := range t.rows {
 		if !r.expires.After(now) {
 			delete(t.rows, id)
@@ -82,23 +87,35 @@ func (t *neighborTable) fresh(id pkt.NodeID, now sim.Time, margin sim.Duration) 
 	return ok && r.expires.Sub(now) >= margin
 }
 
-// ids returns the live neighbour ids (arbitrary order).
+// ids returns the live neighbour ids in ascending order. The order is part
+// of the protocol's determinism contract: local repair scans this list for
+// a bridging neighbour and takes the first match, so handing out Go's
+// randomised map order here made CBRP runs diverge across processes.
 func (t *neighborTable) ids() []pkt.NodeID {
+	if len(t.rows) == 0 {
+		return nil
+	}
 	out := make([]pkt.NodeID, 0, len(t.rows))
 	for id := range t.rows {
 		out = append(out, id)
 	}
+	slices.Sort(out)
 	return out
 }
 
-// headNeighbors returns neighbours currently acting as cluster heads.
+// headNeighbors returns neighbours currently acting as cluster heads, in
+// ascending order (see ids for why the order matters).
 func (t *neighborTable) headNeighbors() []pkt.NodeID {
+	if len(t.rows) == 0 {
+		return nil
+	}
 	var out []pkt.NodeID
 	for id, r := range t.rows {
 		if r.status == Head {
 			out = append(out, id)
 		}
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -119,7 +136,11 @@ func (t *neighborTable) neighborOf(via, target pkt.NodeID) bool {
 
 // foreignHeads returns cluster heads adjacent to our neighbours but not our
 // own heads — reachability into adjacent clusters (gateway detection).
+// Sorted ascending so callers see a process-independent order.
 func (t *neighborTable) foreignHeads(myHeads map[pkt.NodeID]bool) []pkt.NodeID {
+	if len(t.rows) == 0 {
+		return nil
+	}
 	seen := map[pkt.NodeID]bool{}
 	var out []pkt.NodeID
 	for _, r := range t.rows {
@@ -130,6 +151,7 @@ func (t *neighborTable) foreignHeads(myHeads map[pkt.NodeID]bool) []pkt.NodeID {
 			}
 		}
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -145,6 +167,9 @@ func (t *neighborTable) foreignHeads(myHeads map[pkt.NodeID]bool) []pkt.NodeID {
 // The rule converges in O(diameter) hello rounds and matches CBRP's
 // bootstrap behaviour closely enough for the study's purposes.
 func electStatus(me pkt.NodeID, t *neighborTable) NodeStatus {
+	if len(t.rows) == 0 {
+		return Head // isolated node: trivially its own cluster
+	}
 	minContender := me
 	for id, r := range t.rows {
 		if r.status == Head {

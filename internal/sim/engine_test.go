@@ -383,3 +383,120 @@ func TestEngineInterruptNilNeverPolled(t *testing.T) {
 		t.Fatalf("executed %d", e.Executed)
 	}
 }
+
+func TestEngineEventPoolRecycles(t *testing.T) {
+	e := NewEngine()
+	// Sequential schedule/fire cycles must reuse the same pooled struct
+	// instead of allocating one event per cycle.
+	for i := 0; i < 1000; i++ {
+		e.ScheduleIn(Microsecond, func() {})
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(e.free); n != 1 {
+		t.Fatalf("free list holds %d events after sequential cycles, want 1", n)
+	}
+}
+
+func TestEngineStaleHandleRejected(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	h := e.ScheduleIn(Microsecond, func() { fired++ })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d", fired)
+	}
+	// The handle's event struct has been recycled; cancelling must be a
+	// no-op even after the struct is reused by a new event.
+	h2 := e.ScheduleIn(Microsecond, func() { fired++ })
+	if e.Cancel(h) {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("recycled event did not fire (fired=%d)", fired)
+	}
+	if e.Cancel(h2) {
+		t.Fatal("cancel after firing reported true")
+	}
+	var zero Handle
+	if e.Cancel(zero) {
+		t.Fatal("zero handle cancelled something")
+	}
+}
+
+func TestEngineCancelSelfDuringDispatch(t *testing.T) {
+	e := NewEngine()
+	var h Handle
+	h = e.ScheduleIn(Microsecond, func() {
+		if e.Cancel(h) {
+			t.Fatal("event cancelled itself mid-dispatch")
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDispatchOrderWithPooling(t *testing.T) {
+	// Heavy interleaved schedule/cancel traffic must still dispatch in
+	// exact (time, seq) order — the determinism contract of the 4-ary
+	// heap + pool.
+	e := NewEngine()
+	var got []int
+	var handles []Handle
+	for i := 0; i < 200; i++ {
+		i := i
+		at := Time((i * 7919) % 100).Add(Duration(i))
+		handles = append(handles, e.Schedule(at, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 200; i += 3 {
+		e.Cancel(handles[i])
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Expect the surviving events sorted by (at, seq): seq increases with
+	// i, so equal timestamps keep ascending i.
+	var want []int
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		want = append(want, i)
+	}
+	sortStable(want, func(a, b int) bool {
+		ta := Time((a * 7919) % 100).Add(Duration(a))
+		tb := Time((b * 7919) % 100).Add(Duration(b))
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	})
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order diverged at %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// sortStable is a tiny stable insertion sort for the test above.
+func sortStable(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && less(v, xs[j]) {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

@@ -6,6 +6,7 @@
 package topo
 
 import (
+	"adhocsim/internal/geo"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/sim"
 )
@@ -16,24 +17,35 @@ type Graph struct {
 }
 
 // Snapshot builds the connectivity graph at time t: an edge exists between
-// two nodes iff their distance is at most radioRange.
+// two nodes iff their distance is at most radioRange. Neighbour candidates
+// come from the same spatial grid the radio channel uses, so building a
+// snapshot costs O(N·k) rather than the N²/2 pair scan; each adjacency list
+// comes out sorted ascending, exactly as the pair scan produced it.
 func Snapshot(tracks []*mobility.Track, t sim.Time, radioRange float64) *Graph {
+	return snapshotInto(nil, tracks, t, radioRange)
+}
+
+// snapshotInto is Snapshot with a reusable spatial grid (nil builds a fresh
+// one); the Oracle passes its persistent grid so periodic refreshes reuse
+// the cell storage instead of reallocating the whole index.
+func snapshotInto(grid *geo.FlatGrid, tracks []*mobility.Track, t sim.Time, radioRange float64) *Graph {
 	n := len(tracks)
 	g := &Graph{adj: make([][]int32, n)}
-	r2 := radioRange * radioRange
-	pts := make([]struct{ x, y float64 }, n)
-	for i, tr := range tracks {
-		p := tr.At(t)
-		pts[i] = struct{ x, y float64 }{p.X, p.Y}
+	if n == 0 {
+		return g
 	}
+	if grid == nil {
+		grid = geo.NewFlatGrid(radioRange + 1)
+	}
+	pts := make([]geo.Point, n)
+	for i, tr := range tracks {
+		pts[i] = tr.At(t)
+	}
+	grid.Rebuild(pts)
+	var scratch []int32
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
-			if dx*dx+dy*dy <= r2 {
-				g.adj[i] = append(g.adj[i], int32(j))
-				g.adj[j] = append(g.adj[j], int32(i))
-			}
-		}
+		scratch = grid.WithinSorted(pts[i], radioRange, int32(i), scratch[:0])
+		g.adj[i] = append([]int32(nil), scratch...)
 	}
 	return g
 }
@@ -141,6 +153,7 @@ type Oracle struct {
 
 	snapAt  sim.Time
 	snap    *Graph
+	grid    *geo.FlatGrid // reused across refreshes
 	bfsFrom map[int32][]int
 	valid   bool
 }
@@ -165,7 +178,10 @@ func (o *Oracle) refresh(t sim.Time) {
 	if o.valid && t.Sub(o.snapAt) < o.resolution && t >= o.snapAt {
 		return
 	}
-	o.snap = Snapshot(o.tracks, t, o.radioRange)
+	if o.grid == nil {
+		o.grid = geo.NewFlatGrid(o.radioRange + 1)
+	}
+	o.snap = snapshotInto(o.grid, o.tracks, t, o.radioRange)
 	o.snapAt = t
 	o.valid = true
 	for k := range o.bfsFrom {
