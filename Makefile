@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test figs bench bench-baseline race
+.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke
 
 ## verify: the tier-1 gate — formatting, vet, build, tests.
 verify: fmt vet build test
@@ -27,6 +27,11 @@ figs:
 ## race: the short test suite under the race detector.
 race:
 	$(GO) test -race -short ./...
+
+## campaign-smoke: drive a tiny 2-protocol × 2-seed campaign through the
+## adhocd HTTP API on a loopback port (submit → poll → results → delete).
+campaign-smoke:
+	$(GO) run ./cmd/adhocd -smoke
 
 ## bench: smoke-scale benchmarks (1 iteration each, shape check).
 bench:

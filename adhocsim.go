@@ -57,6 +57,15 @@
 //
 // The v1 helpers (Run without a context, PauseSweep and friends) remain as
 // thin wrappers over the v2 API.
+//
+// # Campaigns
+//
+// The campaign engine (CampaignSpec, RunCampaign, NewCampaignServer) runs
+// multi-seed replication campaigns on top of the experiment API: cells are
+// aggregated online with Welford moments and Student-t 95% confidence
+// intervals, replication stops early per cell once the estimate is tight
+// enough, completed runs are journaled for bit-identical resume, and
+// cmd/adhocd serves the whole thing over HTTP.
 package adhocsim
 
 import (

@@ -1,0 +1,186 @@
+// Command adhocd is the HTTP simulation service: it accepts replication
+// campaigns as JSON, executes them on a worker pool, and serves live
+// progress and aggregated results.
+//
+// Usage:
+//
+//	adhocd -addr :8080 -journal-dir ./journals
+//
+// API:
+//
+//	POST   /campaigns              submit a campaign spec (JSON)
+//	GET    /campaigns              list campaigns
+//	GET    /campaigns/{id}         live progress
+//	GET    /campaigns/{id}/results aggregated results (409 while running)
+//	DELETE /campaigns/{id}         cancel
+//
+// The -smoke flag runs a self-contained smoke test instead of serving: the
+// daemon binds a loopback port, submits a tiny two-protocol campaign to
+// itself over real HTTP, polls it to completion, prints the results, and
+// exits non-zero on any failure. CI runs this via `make campaign-smoke`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"adhocsim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+		journalDir = flag.String("journal-dir", "", "checkpoint journals directory (empty = no checkpointing)")
+		smoke      = flag.Bool("smoke", false, "run the loopback HTTP smoke test and exit")
+	)
+	flag.Parse()
+
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "adhocd:", err)
+			os.Exit(1)
+		}
+	}
+	srv := adhocsim.NewCampaignServer(adhocsim.CampaignServerOptions{
+		Workers:    *workers,
+		JournalDir: *journalDir,
+	})
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "adhocd: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("campaign smoke OK")
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "adhocd: shutting down")
+		httpSrv.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "adhocd: listening on %s\n", *addr)
+	err := httpSrv.ListenAndServe()
+	srv.Close() // cancel and drain running campaigns
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "adhocd:", err)
+		os.Exit(1)
+	}
+}
+
+// smokeSpec is the tiny campaign of the smoke test: 2 protocols × 2
+// replication seeds on a 10-node, 10-second scenario — 4 runs, a few
+// seconds of wall clock.
+const smokeSpec = `{
+  "name": "smoke",
+  "base": {"nodes": 10, "area_w_m": 600, "duration_s": 10, "sources": 3},
+  "protocols": ["DSR", "AODV"],
+  "max_reps": 2
+}`
+
+// runSmoke exercises the full submit → poll → results → delete cycle over a
+// real loopback TCP listener.
+func runSmoke(srv *adhocsim.CampaignServer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "adhocd: smoke server on %s\n", base)
+
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(smokeSpec))
+	if err != nil {
+		return err
+	}
+	var created struct {
+		ID      string `json:"id"`
+		MaxRuns int    `json:"max_runs"`
+	}
+	if err := decode(resp, http.StatusCreated, &created); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "adhocd: smoke campaign %s (%d runs max)\n", created.ID, created.MaxRuns)
+
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/campaigns/" + created.ID)
+		if err != nil {
+			return err
+		}
+		var snap adhocsim.CampaignSnapshot
+		if err := decode(resp, http.StatusOK, &snap); err != nil {
+			return fmt.Errorf("progress: %w", err)
+		}
+		if snap.State == "done" {
+			break
+		}
+		if snap.State == "failed" || snap.State == "cancelled" {
+			return fmt.Errorf("campaign ended %s: %s", snap.State, snap.Err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("campaign stuck: %+v", snap)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/campaigns/" + created.ID + "/results")
+	if err != nil {
+		return err
+	}
+	var result adhocsim.CampaignResult
+	if err := decode(resp, http.StatusOK, &result); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	if len(result.Cells) != 2 {
+		return fmt.Errorf("expected 2 cells, got %d", len(result.Cells))
+	}
+	for _, cell := range result.Cells {
+		if cell.Reps != 2 || cell.Merged.DataSent == 0 {
+			return fmt.Errorf("degenerate cell: %+v", cell)
+		}
+		pdr := cell.Metrics["pdr"]
+		fmt.Fprintf(os.Stderr, "adhocd: smoke %-6s pdr %.1f%% ±%.1f (n=%d)\n",
+			cell.Protocol, pdr.Mean, pdr.CI95, pdr.N)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/campaigns/"+created.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	var final adhocsim.CampaignSnapshot
+	if err := decode(resp, http.StatusOK, &final); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	return nil
+}
+
+// decode checks the status code and unmarshals the JSON body.
+func decode(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, want, body)
+	}
+	return json.Unmarshal(body, v)
+}

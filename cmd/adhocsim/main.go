@@ -1,9 +1,11 @@
 // Command adhocsim runs a single ad hoc network simulation and prints its
-// metrics.
+// metrics, or — with -campaign — a whole replication campaign from a JSON
+// spec.
 //
 // Usage:
 //
 //	adhocsim -proto DSR -nodes 40 -pause 0 -speed 20 -sources 10 -dur 150 -seed 1
+//	adhocsim -campaign spec.json -checkpoint run.jsonl
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -19,6 +22,54 @@ import (
 	"adhocsim"
 	"adhocsim/internal/trace"
 )
+
+// runCampaign executes a campaign spec end to end: progress on stderr, the
+// aggregated Result as JSON on stdout. With -checkpoint, completed runs are
+// journaled and an interrupted campaign (Ctrl-C included) resumes from the
+// same file.
+func runCampaign(specPath, checkpoint string, workers int) {
+	var data []byte
+	var err error
+	if specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(specPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhocsim:", err)
+		os.Exit(1)
+	}
+	var spec adhocsim.CampaignSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "adhocsim: campaign spec:", err)
+		os.Exit(1)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	res, err := adhocsim.RunCampaign(ctx, spec, adhocsim.CampaignOptions{
+		Workers:     workers,
+		JournalPath: checkpoint,
+		OnProgress: func(s adhocsim.CampaignSnapshot) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d runs, %d/%d cells settled]   ",
+				s.RunsDone, s.MaxRuns, s.CellsStopped, s.Cells)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhocsim:", err)
+		if checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "adhocsim: rerun with -checkpoint %s to resume\n", checkpoint)
+		}
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintln(os.Stderr, "adhocsim:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -39,8 +90,17 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text")
 		traceFile = flag.String("trace", "", "write an ns-2-style packet trace to this file (single seed only)")
 		brute     = flag.Bool("brute", false, "disable the spatial-index transmit path (legacy O(N) loop)")
+
+		campaignFile = flag.String("campaign", "", "run a replication campaign from this JSON spec file ('-' = stdin) instead of a single run")
+		checkpoint   = flag.String("checkpoint", "", "campaign journal path; an existing journal of the same spec is resumed")
+		workers      = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *campaignFile != "" {
+		runCampaign(*campaignFile, *checkpoint, *workers)
+		return
+	}
 
 	spec := adhocsim.DefaultSpec()
 	spec.Nodes = *nodes

@@ -1,0 +1,474 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"adhocsim/internal/core"
+	"adhocsim/internal/stats"
+)
+
+// State of a campaign's lifecycle.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Stop reasons recorded per cell.
+const (
+	StopCI      = "ci"       // sequential rule: every epsilon target met
+	StopMaxReps = "max_reps" // replication cap reached
+)
+
+// Options configure campaign execution.
+type Options struct {
+	// Workers sizes the worker pool (default GOMAXPROCS).
+	Workers int
+	// JournalPath, when non-empty, checkpoints every completed run to a
+	// JSONL file. If the file already holds a journal of the same spec, the
+	// campaign resumes from it instead of starting over.
+	JournalPath string
+	// OnProgress, when non-nil, observes a Snapshot after every completed
+	// run. Calls are serialized under the campaign mutex: keep it fast and
+	// do not call back into the campaign from it.
+	OnProgress func(Snapshot)
+}
+
+// Snapshot is a point-in-time view of campaign progress, safe to read while
+// the campaign runs. Operational counters live here (not in Result) so that
+// resumed and uninterrupted campaigns can produce identical Results even
+// though they executed different numbers of runs.
+type Snapshot struct {
+	Name            string `json:"name,omitempty"`
+	State           State  `json:"state"`
+	Cells           int    `json:"cells"`
+	CellsStopped    int    `json:"cells_stopped"`
+	RunsDone        int    `json:"runs_done"`
+	RunsFromJournal int    `json:"runs_from_journal,omitempty"`
+	MaxRuns         int    `json:"max_runs"`
+	Err             string `json:"error,omitempty"`
+}
+
+// CellResult is the aggregate of one cell's committed replications.
+type CellResult struct {
+	Protocol string    `json:"protocol"`
+	Point    []float64 `json:"point,omitempty"`
+	Label    string    `json:"label"`
+	// Reps is the number of replications the sequential rule committed.
+	Reps       int    `json:"reps"`
+	StopReason string `json:"stop_reason"`
+	// Merged is the replication-merged metric set (the same shape the sweep
+	// and grid JSON exports use).
+	Merged stats.Results `json:"merged"`
+	// Metrics maps each catalogue metric to its cross-replication summary,
+	// including the Student-t 95% confidence half-width.
+	Metrics map[string]stats.Summary `json:"metrics"`
+}
+
+// Result is the final aggregate of a campaign. It is a pure function of the
+// spec: interrupted-and-resumed campaigns produce a Result that is
+// reflect.DeepEqual to an uninterrupted run's.
+type Result struct {
+	Name       string       `json:"name,omitempty"`
+	SpecHash   string       `json:"spec_hash"`
+	Protocols  []string     `json:"protocols"`
+	AxisLabels []string     `json:"axis_labels,omitempty"`
+	Points     [][]float64  `json:"points,omitempty"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// cellState is the engine-side accumulation for one cell.
+type cellState struct {
+	// results[rep] is set when that replication has completed (executed or
+	// replayed from the journal); commits consume the contiguous prefix.
+	results []*stats.Results
+	// issued[rep] marks replications handed to a worker (or journaled), so
+	// the dispatcher never double-runs one.
+	issued []bool
+	// committed is the length of the prefix folded into acc, in replication
+	// order — this ordering is what makes aggregation completion-order
+	// independent and therefore resumable bit-identically.
+	committed  int
+	acc        []stats.Welford // parallel to Plan.Metrics
+	stopped    bool
+	stopReason string
+}
+
+// Campaign executes one expanded Plan. Create with New, run once with Run;
+// Snapshot may be called concurrently at any time.
+type Campaign struct {
+	plan *Plan
+	opts Options
+
+	// epsIdx maps Plan.Metrics indices to their epsilon targets.
+	epsIdx map[int]float64
+
+	mu              sync.Mutex
+	state           State
+	cells           []cellState
+	journal         *journal
+	cursorRound     int
+	cursorCell      int
+	runsDone        int
+	runsFromJournal int
+	err             error
+	result          *Result
+}
+
+// New validates and expands the spec into a ready-to-run campaign. The
+// journal (if any) is opened by Run, not New, so constructing a campaign has
+// no filesystem side effects.
+func New(spec Spec, opts Options) (*Campaign, error) {
+	plan, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		plan:   plan,
+		opts:   opts,
+		epsIdx: make(map[int]float64),
+		state:  StatePending,
+		cells:  make([]cellState, len(plan.Cells)),
+	}
+	for mi, m := range plan.Metrics {
+		if e, ok := plan.Spec.Epsilon[m.Name]; ok {
+			c.epsIdx[mi] = e
+		}
+	}
+	for i := range c.cells {
+		c.cells[i] = cellState{
+			results: make([]*stats.Results, plan.Spec.MaxReps),
+			issued:  make([]bool, plan.Spec.MaxReps),
+			acc:     make([]stats.Welford, len(plan.Metrics)),
+		}
+	}
+	return c, nil
+}
+
+// Plan exposes the expanded plan (cells, seeds, hash).
+func (c *Campaign) Plan() *Plan { return c.plan }
+
+// Run executes the campaign to completion (or cancellation) and returns the
+// aggregate. It may be called once.
+func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if c.state != StatePending {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("campaign: Run called twice")
+	}
+	c.state = StateRunning
+	c.mu.Unlock()
+
+	if c.opts.JournalPath != "" {
+		j, entries, err := openJournal(c.opts.JournalPath, c.plan)
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		c.mu.Lock()
+		c.journal = j
+		for _, e := range entries {
+			c.replayLocked(e)
+		}
+		c.mu.Unlock()
+		defer j.Close()
+	}
+
+	workers := c.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci, rep, ok := c.next()
+				if !ok {
+					return
+				}
+				cell := c.plan.Cells[ci]
+				res, err := core.Run(ctx, core.RunConfig{
+					Spec:     cell.spec,
+					Protocol: cell.Protocol,
+					Seed:     c.plan.SeedFor(ci, rep),
+				})
+				if err != nil {
+					c.mu.Lock()
+					c.setErrLocked(err)
+					c.mu.Unlock()
+					return
+				}
+				c.complete(ci, rep, res)
+			}
+		}()
+	}
+	wg.Wait()
+
+	return c.settle(ctx)
+}
+
+// fail records a pre-execution failure and returns it.
+func (c *Campaign) fail(err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setErrLocked(err)
+	c.state = StateFailed
+	if isCancel(c.err) {
+		c.state = StateCancelled
+	}
+	return c.err
+}
+
+// settle computes the campaign's final state after the pool drained.
+func (c *Campaign) settle(ctx context.Context) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A campaign whose every cell has stopped is complete: a cancellation
+	// that only interrupted speculative (never-to-be-committed) runs, or
+	// that landed after the final commit, must not throw the aggregate
+	// away — with no journal it would be unrecoverable.
+	allStopped := true
+	for i := range c.cells {
+		if !c.cells[i].stopped {
+			allStopped = false
+			break
+		}
+	}
+	if allStopped && isCancel(c.err) {
+		c.err = nil
+	}
+	if c.err == nil && ctx.Err() != nil && !allStopped {
+		// Cancellation raced the last dispatch: surface it rather than
+		// returning a partial aggregate as if it were complete.
+		c.err = ctx.Err()
+	}
+	if c.err != nil {
+		if isCancel(c.err) {
+			c.state = StateCancelled
+			if ctx.Err() != nil {
+				// Prefer the naked context error over a wrapped per-run one.
+				c.err = ctx.Err()
+			}
+		} else {
+			c.state = StateFailed
+		}
+		return nil, c.err
+	}
+	cells := make([]CellResult, len(c.plan.Cells))
+	for ci := range c.plan.Cells {
+		cs := &c.cells[ci]
+		reps := make([]stats.Results, cs.committed)
+		for r := 0; r < cs.committed; r++ {
+			reps[r] = *cs.results[r]
+		}
+		metrics := make(map[string]stats.Summary, len(c.plan.Metrics))
+		for mi, m := range c.plan.Metrics {
+			metrics[m.Name] = cs.acc[mi].Summary()
+		}
+		cells[ci] = CellResult{
+			Protocol:   c.plan.Cells[ci].Protocol,
+			Point:      c.plan.Cells[ci].Point,
+			Label:      c.plan.Cells[ci].Label,
+			Reps:       cs.committed,
+			StopReason: cs.stopReason,
+			Merged:     stats.MergeResults(reps),
+			Metrics:    metrics,
+		}
+	}
+	c.result = &Result{
+		Name:       c.plan.Spec.Name,
+		SpecHash:   c.plan.Hash,
+		Protocols:  c.plan.Protocols,
+		AxisLabels: c.plan.Labels,
+		Points:     c.plan.Points,
+		Cells:      cells,
+	}
+	c.state = StateDone
+	return c.result, nil
+}
+
+// next hands out the next useful (cell, replication) pair. Dispatch is
+// breadth-first (replication rounds across all cells) so early-stop
+// decisions are made before deep speculation, and forward-only: stopping
+// only removes work, so a single monotone cursor visits each pair at most
+// once. Workers exiting on !ok is correct because no new work ever appears.
+func (c *Campaign) next() (ci, rep int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, 0, false
+	}
+	for c.cursorRound < c.plan.Spec.MaxReps {
+		for c.cursorCell < len(c.cells) {
+			i := c.cursorCell
+			c.cursorCell++
+			cs := &c.cells[i]
+			if cs.stopped || cs.issued[c.cursorRound] {
+				continue
+			}
+			cs.issued[c.cursorRound] = true
+			return i, c.cursorRound, true
+		}
+		c.cursorCell = 0
+		c.cursorRound++
+	}
+	return 0, 0, false
+}
+
+// complete records one executed run: journal it, then commit in replication
+// order.
+func (c *Campaign) complete(ci, rep int, res stats.Results) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := &c.cells[ci]
+	if cs.results[rep] != nil {
+		return // duplicate (journal overlap); first result wins
+	}
+	cs.results[rep] = &res
+	c.runsDone++
+	if c.journal != nil {
+		if err := c.journal.append(journalEntry{
+			Cell:    ci,
+			Rep:     rep,
+			Seed:    c.plan.SeedFor(ci, rep),
+			Results: res,
+		}); err != nil {
+			c.setErrLocked(err)
+			return
+		}
+	}
+	c.commitLocked(ci)
+	if c.opts.OnProgress != nil {
+		c.opts.OnProgress(c.snapshotLocked())
+	}
+}
+
+// replayLocked feeds one journaled run back into the engine: the result is
+// stored and marked issued (never re-run), then committed exactly like a
+// live completion — same values, same order, bit-identical accumulators.
+func (c *Campaign) replayLocked(e journalEntry) {
+	cs := &c.cells[e.Cell]
+	if cs.results[e.Rep] != nil {
+		return
+	}
+	res := e.Results
+	cs.results[e.Rep] = &res
+	cs.issued[e.Rep] = true
+	c.runsDone++
+	c.runsFromJournal++
+	c.commitLocked(e.Cell)
+}
+
+// commitLocked folds the contiguous completed prefix of a cell into its
+// Welford accumulators — always in replication order, never past a stop
+// decision. Speculative results beyond the stop point stay uncommitted, so
+// the aggregate does not depend on scheduling.
+func (c *Campaign) commitLocked(ci int) {
+	cs := &c.cells[ci]
+	for !cs.stopped && cs.committed < c.plan.Spec.MaxReps && cs.results[cs.committed] != nil {
+		r := cs.results[cs.committed]
+		for mi := range c.plan.Metrics {
+			cs.acc[mi].Add(c.plan.Metrics[mi].Value(*r))
+		}
+		cs.committed++
+		if c.epsilonMetLocked(cs) {
+			cs.stopped = true
+			cs.stopReason = StopCI
+		} else if cs.committed == c.plan.Spec.MaxReps {
+			cs.stopped = true
+			cs.stopReason = StopMaxReps
+		}
+	}
+}
+
+// epsilonMetLocked evaluates the sequential stopping rule on the committed
+// prefix: at least MinReps replications, and every epsilon metric's 95%
+// confidence half-width at or below its target.
+func (c *Campaign) epsilonMetLocked(cs *cellState) bool {
+	if len(c.epsIdx) == 0 || cs.committed < c.plan.Spec.MinReps {
+		return false
+	}
+	for mi, eps := range c.epsIdx {
+		if cs.acc[mi].CI95() > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Campaign) setErrLocked(err error) {
+	if err == nil {
+		return
+	}
+	if c.err == nil {
+		c.err = err
+		return
+	}
+	// A real failure outranks cancellation symptoms.
+	if isCancel(c.err) && !isCancel(err) {
+		c.err = err
+	}
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Snapshot returns the current progress view; safe at any time, from any
+// goroutine.
+func (c *Campaign) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Campaign) snapshotLocked() Snapshot {
+	stopped := 0
+	for i := range c.cells {
+		if c.cells[i].stopped {
+			stopped++
+		}
+	}
+	s := Snapshot{
+		Name:            c.plan.Spec.Name,
+		State:           c.state,
+		Cells:           len(c.cells),
+		CellsStopped:    stopped,
+		RunsDone:        c.runsDone,
+		RunsFromJournal: c.runsFromJournal,
+		MaxRuns:         c.plan.MaxRuns(),
+	}
+	if c.err != nil {
+		s.Err = c.err.Error()
+	}
+	return s
+}
+
+// Result returns the final aggregate once the campaign is done (nil before).
+func (c *Campaign) Result() *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.result
+}
+
+// Run expands and executes a campaign in one call — the plain entry point
+// for Go callers and the -campaign CLI mode.
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	c, err := New(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx)
+}

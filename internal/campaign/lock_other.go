@@ -1,0 +1,9 @@
+//go:build !unix
+
+package campaign
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; concurrent resumes of the
+// same journal are then unguarded, as documented in DESIGN.md.
+func lockFile(f *os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package campaign
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on the journal
+// file. The lock is released automatically when the file is closed (or the
+// process dies), so a crashed campaign never wedges its checkpoint.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

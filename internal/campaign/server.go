@@ -1,0 +1,257 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Server manages campaigns over HTTP: submit a Spec, watch its progress,
+// fetch its aggregate, cancel it. It is the simulation-service face of the
+// campaign engine — cmd/adhocd is a thin main around it, and tests drive it
+// through net/http/httptest.
+//
+//	POST   /campaigns              submit a JSON Spec        → 201 + {id,…}
+//	GET    /campaigns              list snapshots
+//	GET    /campaigns/{id}         live progress snapshot
+//	GET    /campaigns/{id}/results aggregated Result (409 while running)
+//	DELETE /campaigns/{id}         cancel (context cancellation)
+type Server struct {
+	opts ServerOptions
+
+	// base context: cancelling it (Close) cancels every campaign.
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	seq       int
+	campaigns map[string]*managed
+}
+
+// ServerOptions configure the campaign service.
+type ServerOptions struct {
+	// Workers sizes each campaign's worker pool (default GOMAXPROCS).
+	Workers int
+	// JournalDir, when non-empty, gives every campaign a checkpoint journal
+	// at <dir>/<id>.jsonl, so a restarted daemon's campaigns can be resumed
+	// by resubmitting the same spec under the same id path.
+	JournalDir string
+}
+
+type managed struct {
+	id          string
+	c           *Campaign
+	cancel      context.CancelFunc
+	done        chan struct{}
+	journalPath string
+}
+
+// finished reports whether the campaign's goroutine has exited.
+func (m *managed) finished() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewServer creates a campaign service.
+func NewServer(opts ServerOptions) *Server {
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:      opts,
+		base:      base,
+		cancel:    cancel,
+		campaigns: make(map[string]*managed),
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleCreate)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleGet)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleDelete)
+	return mux
+}
+
+// Close cancels every campaign and waits for their workers to drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.mu.Lock()
+	all := make([]*managed, 0, len(s.campaigns))
+	for _, m := range s.campaigns {
+		all = append(all, m)
+	}
+	s.mu.Unlock()
+	for _, m := range all {
+		<-m.done
+	}
+}
+
+// createdResponse is the POST /campaigns reply.
+type createdResponse struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Cells   int    `json:"cells"`
+	MaxRuns int    `json:"max_runs"`
+	Journal string `json:"journal,omitempty"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+
+	c, err := New(spec, Options{Workers: s.opts.Workers})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.opts.JournalDir != "" {
+		// The journal is keyed by the spec hash, not the campaign id: ids
+		// restart at c1 after a daemon restart, but a spec always maps to
+		// the same checkpoint file, so resubmitting it resumes the journal
+		// and distinct specs can never collide with a previous life's
+		// files. (Run reads the path later; it has not started yet.)
+		c.opts.JournalPath = filepath.Join(s.opts.JournalDir, c.Plan().Hash[:16]+".jsonl")
+	}
+
+	ctx, cancel := context.WithCancel(s.base)
+	s.mu.Lock()
+	if c.opts.JournalPath != "" {
+		// Two live campaigns must not append to one journal.
+		for _, m := range s.campaigns {
+			if m.journalPath == c.opts.JournalPath && !m.finished() {
+				s.mu.Unlock()
+				cancel()
+				httpError(w, http.StatusConflict,
+					fmt.Errorf("campaign %s is already running this spec (journal %s)", m.id, c.opts.JournalPath))
+				return
+			}
+		}
+	}
+	s.seq++
+	id := fmt.Sprintf("c%d", s.seq)
+	m := &managed{id: id, c: c, cancel: cancel, done: make(chan struct{}), journalPath: c.opts.JournalPath}
+	s.campaigns[id] = m
+	s.mu.Unlock()
+	go func() {
+		defer close(m.done)
+		defer cancel()
+		// Outcome lives in the campaign itself: Result() for the aggregate,
+		// Snapshot().Err for failures.
+		_, _ = c.Run(ctx)
+	}()
+
+	writeJSON(w, http.StatusCreated, createdResponse{
+		ID:      id,
+		URL:     "/campaigns/" + id,
+		Cells:   len(c.Plan().Cells),
+		MaxRuns: c.Plan().MaxRuns(),
+		Journal: c.opts.JournalPath,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.campaigns))
+	for id := range s.campaigns {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	// Numeric-suffix ids ("c1", "c2", …): sort by length then value gives
+	// submission order.
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	type listed struct {
+		ID string `json:"id"`
+		Snapshot
+	}
+	out := make([]listed, 0, len(ids))
+	for _, id := range ids {
+		if m := s.lookup(id); m != nil {
+			out = append(out, listed{ID: id, Snapshot: m.c.Snapshot()})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(id string) *managed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.c.Snapshot())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+		return
+	}
+	snap := m.c.Snapshot()
+	switch snap.State {
+	case StateDone:
+		// Read the aggregate from the campaign itself: it is stored under
+		// the same lock that flips the state to done, so a done snapshot
+		// guarantees a non-nil Result (the managed goroutine's own copy is
+		// stored later, after Run returns).
+		writeJSON(w, http.StatusOK, m.c.Result())
+	case StateFailed:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("campaign failed: %s", snap.Err))
+	default:
+		// Pending, running, or cancelled: no final aggregate to serve.
+		writeJSON(w, http.StatusConflict, snap)
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+		return
+	}
+	m.cancel()
+	// Cancellation is polled inside the event loops, so the drain is prompt;
+	// wait for it and report the terminal state.
+	<-m.done
+	writeJSON(w, http.StatusOK, m.c.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	msg := strings.TrimSpace(err.Error())
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,304 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const tinySpecJSON = `{
+  "name": "smoke",
+  "base": {"nodes": 10, "area_w_m": 600, "duration_s": 10, "sources": 3},
+  "protocols": ["DSR", "FLOOD"],
+  "max_reps": 2
+}`
+
+func startServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(ServerOptions{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec string) createdResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("POST /campaigns = %d: %s", resp.StatusCode, body)
+	}
+	var created createdResponse
+	decodeBody(t, resp, &created)
+	return created
+}
+
+// TestServerEndToEnd drives submit → progress → results over real HTTP.
+func TestServerEndToEnd(t *testing.T) {
+	_, ts := startServer(t)
+	created := submit(t, ts, tinySpecJSON)
+	if created.ID == "" || created.Cells != 2 || created.MaxRuns != 4 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var snap Snapshot
+	for {
+		resp, err := http.Get(ts.URL + "/campaigns/" + created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET campaign = %d", resp.StatusCode)
+		}
+		decodeBody(t, resp, &snap)
+		if snap.State == StateDone || snap.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck: %+v", snap)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if snap.State != StateDone || snap.RunsDone != 4 || snap.CellsStopped != 2 {
+		t.Fatalf("final snapshot = %+v", snap)
+	}
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET results = %d", resp.StatusCode)
+	}
+	var res Result
+	decodeBody(t, resp, &res)
+	if res.Name != "smoke" || len(res.Cells) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, cell := range res.Cells {
+		if cell.Reps != 2 || cell.Merged.DataSent == 0 {
+			t.Fatalf("cell = %+v", cell)
+		}
+		if cell.Metrics["pdr"].N != 2 {
+			t.Fatalf("pdr summary = %+v", cell.Metrics["pdr"])
+		}
+	}
+
+	// The listing shows the campaign.
+	listResp, err := http.Get(ts.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []struct {
+		ID string `json:"id"`
+		Snapshot
+	}
+	decodeBody(t, listResp, &listed)
+	if len(listed) != 1 || listed[0].ID != created.ID || listed[0].State != StateDone {
+		t.Fatalf("list = %+v", listed)
+	}
+}
+
+// TestServerCancel covers results-before-done (409) and DELETE cancellation.
+func TestServerCancel(t *testing.T) {
+	_, ts := startServer(t)
+	// A campaign too long to finish during the test.
+	created := submit(t, ts, `{
+	  "base": {"nodes": 20, "duration_s": 600},
+	  "protocols": ["DSR"],
+	  "max_reps": 3
+	}`)
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("results while running = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/"+created.ID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", delResp.StatusCode)
+	}
+	var snap Snapshot
+	decodeBody(t, delResp, &snap)
+	if snap.State != StateCancelled {
+		t.Fatalf("state after delete = %+v", snap)
+	}
+
+	// Cancelled campaigns have no final aggregate.
+	resp, err = http.Get(ts.URL + "/campaigns/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("results after cancel = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// pollDone polls a campaign until it leaves the running states and returns
+// the final snapshot.
+func pollDone(t *testing.T, ts *httptest.Server, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		decodeBody(t, resp, &snap)
+		if snap.State != StatePending && snap.State != StateRunning {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck: %+v", id, snap)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServerJournalAcrossRestarts: journals are keyed by spec hash, so a
+// restarted daemon (ids back at c1) neither collides with a previous life's
+// journals nor re-runs a spec whose journal is already complete.
+func TestServerJournalAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewServer(ServerOptions{JournalDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+	created := submit(t, ts1, tinySpecJSON)
+	if snap := pollDone(t, ts1, created.ID); snap.State != StateDone {
+		t.Fatalf("first life: %+v", snap)
+	}
+	resp, err := http.Get(ts1.URL + "/campaigns/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first Result
+	decodeBody(t, resp, &first)
+	ts1.Close()
+	s1.Close()
+
+	// Second life: same journal dir, fresh id sequence.
+	s2 := NewServer(ServerOptions{JournalDir: dir})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+
+	// A different spec gets id c1 again but its own journal — no collision
+	// with the previous life's file.
+	other := submit(t, ts2, `{"base": {"nodes": 10, "area_w_m": 600, "duration_s": 10, "sources": 3}, "protocols": ["FLOOD"], "max_reps": 1}`)
+	if snap := pollDone(t, ts2, other.ID); snap.State != StateDone {
+		t.Fatalf("different spec after restart: %+v", snap)
+	}
+
+	// The original spec resumes its completed journal: zero new runs,
+	// identical results.
+	again := submit(t, ts2, tinySpecJSON)
+	snap := pollDone(t, ts2, again.ID)
+	if snap.State != StateDone || snap.RunsFromJournal != 4 {
+		t.Fatalf("resubmitted spec: %+v", snap)
+	}
+	resp, err = http.Get(ts2.URL + "/campaigns/" + again.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second Result
+	decodeBody(t, resp, &second)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("results diverge across daemon restart")
+	}
+}
+
+// TestServerDuplicateLiveSpec: two live campaigns must not share a journal.
+func TestServerDuplicateLiveSpec(t *testing.T) {
+	dir := t.TempDir()
+	s := NewServer(ServerOptions{JournalDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	long := `{"base": {"nodes": 20, "duration_s": 600}, "protocols": ["DSR"], "max_reps": 3}`
+	created := submit(t, ts, long)
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate live spec = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/"+created.ID, nil)
+	if delResp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		delResp.Body.Close()
+	}
+}
+
+func TestServerRejections(t *testing.T) {
+	_, ts := startServer(t)
+
+	// Unknown id.
+	resp, err := http.Get(ts.URL + "/campaigns/zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed and invalid specs.
+	for _, bad := range []string{
+		`{not json`,
+		`{"protocols": ["NOPE"]}`,
+		`{"min_reps": 9, "max_reps": 2}`,
+		`{"unknown_field": 1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewReader([]byte(bad)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %q = %d", bad, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,324 @@
+// Package campaign is the batch layer over the experiment API: it expands a
+// declarative Spec (protocols × sweep axes × replication policy) into a run
+// set, executes it on a work-stealing worker pool over the cancellable
+// core runner, aggregates every metric cell online (Welford moments,
+// Student-t 95% confidence intervals), stops cells early once their
+// estimates are tight enough, and journals completed runs to a JSONL
+// checkpoint so a killed campaign resumes bit-identically.
+//
+// Determinism contract: every run's seed is content-derived from the base
+// seed and the cell label (sim.DeriveSeed), runs themselves are
+// deterministic, and per-cell aggregation commits replications in
+// replication order regardless of completion order. A campaign that is
+// interrupted (context cancellation or process death) and resumed from its
+// journal therefore produces a Result that is reflect.DeepEqual to the
+// uninterrupted one.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"adhocsim/internal/core"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+)
+
+// AxisSpec names a catalogue axis ("pause", "nodes", "txrange", …; see
+// core.AxisNames) and the values to visit. Nil or empty Values select the
+// axis defaults.
+type AxisSpec struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// ScenarioPatch overrides individual fields of the default study scenario
+// (scenario.Default) in JSON-friendly units. Only fields present in the JSON
+// override; absent fields keep the study defaults. It exists so HTTP clients
+// can shape scenarios without knowing the simulator's nanosecond clock.
+type ScenarioPatch struct {
+	Nodes        *int     `json:"nodes,omitempty"`
+	AreaW        *float64 `json:"area_w_m,omitempty"`
+	AreaH        *float64 `json:"area_h_m,omitempty"`
+	DurationS    *float64 `json:"duration_s,omitempty"`
+	PauseS       *float64 `json:"pause_s,omitempty"`
+	MaxSpeed     *float64 `json:"max_speed_mps,omitempty"`
+	MinSpeed     *float64 `json:"min_speed_mps,omitempty"`
+	Sources      *int     `json:"sources,omitempty"`
+	Rate         *float64 `json:"rate_pps,omitempty"`
+	PayloadBytes *int     `json:"payload_bytes,omitempty"`
+	TxRange      *float64 `json:"tx_range_m,omitempty"`
+	CSRange      *float64 `json:"cs_range_m,omitempty"`
+}
+
+func (p ScenarioPatch) apply(s *scenario.Spec) {
+	if p.Nodes != nil {
+		s.Nodes = *p.Nodes
+	}
+	if p.AreaW != nil {
+		s.Area.W = *p.AreaW
+	}
+	if p.AreaH != nil {
+		s.Area.H = *p.AreaH
+	}
+	if p.DurationS != nil {
+		s.Duration = sim.Seconds(*p.DurationS)
+	}
+	if p.PauseS != nil {
+		s.Pause = sim.Seconds(*p.PauseS)
+	}
+	if p.MaxSpeed != nil {
+		s.MaxSpeed = *p.MaxSpeed
+		if s.MinSpeed > s.MaxSpeed {
+			s.MinSpeed = s.MaxSpeed
+		}
+	}
+	if p.MinSpeed != nil {
+		s.MinSpeed = *p.MinSpeed
+	}
+	if p.Sources != nil {
+		s.Sources = *p.Sources
+	}
+	if p.Rate != nil {
+		s.Rate = *p.Rate
+	}
+	if p.PayloadBytes != nil {
+		s.PayloadBytes = *p.PayloadBytes
+	}
+	if p.TxRange != nil {
+		s.TxRange = *p.TxRange
+	}
+	if p.CSRange != nil {
+		s.CSRange = *p.CSRange
+	}
+}
+
+// Spec declares one replication campaign: the scenario family, the protocols
+// compared, the swept axes (full cross product), and the replication policy.
+type Spec struct {
+	// Name labels the campaign in snapshots, results and journals.
+	Name string `json:"name,omitempty"`
+	// Base patches the default study scenario; see ScenarioPatch.
+	Base ScenarioPatch `json:"base,omitempty"`
+	// Scenario, when non-nil, replaces the patched default entirely. It is
+	// the Go-caller override and is not expressible over HTTP.
+	Scenario *scenario.Spec `json:"-"`
+	// Protocols to compare; empty selects the five study protocols.
+	Protocols []string `json:"protocols,omitempty"`
+	// Axes are crossed into the cell grid; empty runs a single point.
+	Axes []AxisSpec `json:"axes,omitempty"`
+	// BaseSeed roots the deterministic per-run seed derivation (default 1).
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// MinReps is the minimum replications per cell before the sequential
+	// stopping rule may fire (default 2 when Epsilon is set, else MaxReps).
+	MinReps int `json:"min_reps,omitempty"`
+	// MaxReps caps replications per cell (default 3).
+	MaxReps int `json:"max_reps,omitempty"`
+	// Epsilon maps metric names (core.MetricByName; "pdr", "delay", …) to
+	// target 95% confidence half-widths in the metric's own unit. A cell
+	// stops replicating early once every listed metric's half-width is at
+	// or below its target (and at least MinReps replications committed).
+	// Empty disables early stopping: every cell runs exactly MaxReps.
+	Epsilon map[string]float64 `json:"epsilon,omitempty"`
+}
+
+// Cell is one grid point of the expanded campaign: a protocol at one
+// combination of axis values.
+type Cell struct {
+	Index    int       `json:"index"`
+	Protocol string    `json:"protocol"`
+	Point    []float64 `json:"point,omitempty"`
+	// Label is the human-readable and seed-derivation identity of the cell,
+	// e.g. "DSR|pause_s=0". It is content-derived, so reordering protocols
+	// or axis values does not change any cell's replication seeds.
+	Label string `json:"label"`
+
+	spec scenario.Spec
+}
+
+// Plan is a fully-expanded, validated campaign: the resolved scenario, the
+// cell grid, the tracked metrics, and the spec hash that guards journals
+// against resuming under a different spec.
+type Plan struct {
+	Spec      Spec
+	Base      scenario.Spec
+	Protocols []string
+	Labels    []string
+	Points    [][]float64
+	Cells     []Cell
+	Metrics   []core.Metric
+	Hash      string
+}
+
+// MaxRuns is the size of the run set before early stopping.
+func (p *Plan) MaxRuns() int { return len(p.Cells) * p.Spec.MaxReps }
+
+// SeedFor derives the deterministic seed of one (cell, replication) run.
+func (p *Plan) SeedFor(cell, rep int) int64 {
+	return sim.DeriveSeed(p.Spec.BaseSeed, p.Cells[cell].Label+"|rep="+strconv.Itoa(rep))
+}
+
+// Expand validates the spec and expands it into a Plan. The returned plan's
+// Spec has all defaults filled in.
+func (s Spec) Expand() (*Plan, error) {
+	// Replication policy defaults.
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	if s.MaxReps == 0 {
+		s.MaxReps = 3
+	}
+	if s.MaxReps < 1 {
+		return nil, fmt.Errorf("campaign: max_reps %d < 1", s.MaxReps)
+	}
+	if s.MinReps == 0 {
+		if len(s.Epsilon) > 0 {
+			s.MinReps = 2
+			if s.MinReps > s.MaxReps {
+				s.MinReps = s.MaxReps
+			}
+		} else {
+			s.MinReps = s.MaxReps
+		}
+	}
+	if s.MinReps < 1 || s.MinReps > s.MaxReps {
+		return nil, fmt.Errorf("campaign: min_reps %d outside [1, max_reps=%d]", s.MinReps, s.MaxReps)
+	}
+	eps := make(map[string]float64, len(s.Epsilon))
+	for name, e := range s.Epsilon {
+		m, err := core.MetricByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: epsilon: %w", err)
+		}
+		if e <= 0 {
+			return nil, fmt.Errorf("campaign: epsilon[%s] = %v must be > 0", name, e)
+		}
+		eps[m.Name] = e
+	}
+	s.Epsilon = eps
+	if len(eps) == 0 {
+		s.Epsilon = nil
+	}
+
+	// Protocols: default to the study set, validate against the registry.
+	if len(s.Protocols) == 0 {
+		s.Protocols = core.StudyProtocols()
+	}
+	registered := make(map[string]bool)
+	for _, name := range core.RegisteredProtocols() {
+		registered[name] = true
+	}
+	protocols := make([]string, len(s.Protocols))
+	seenProto := make(map[string]bool, len(s.Protocols))
+	for i, name := range s.Protocols {
+		canon := strings.ToUpper(strings.TrimSpace(name))
+		if !registered[canon] {
+			return nil, fmt.Errorf("campaign: unknown protocol %q (registered: %s)",
+				name, strings.Join(core.RegisteredProtocols(), ", "))
+		}
+		if seenProto[canon] {
+			// Duplicates would produce cells with identical labels and
+			// therefore identical replication seeds — pure wasted work.
+			return nil, fmt.Errorf("campaign: protocol %q listed twice", canon)
+		}
+		seenProto[canon] = true
+		protocols[i] = canon
+	}
+	s.Protocols = protocols
+
+	// Scenario: the Go-side override wins, else patch the study default.
+	base := scenario.Default()
+	s.Base.apply(&base)
+	if s.Scenario != nil {
+		base = *s.Scenario
+	}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	// Axes: resolve catalogue names and default values against the base.
+	axes := make([]core.Axis, len(s.Axes))
+	labels := make([]string, len(s.Axes))
+	seenAxis := make(map[string]bool, len(s.Axes))
+	for i, as := range s.Axes {
+		axis, err := core.AxisByName(as.Name, as.Values)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		axis, err = axis.Resolved(base)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if seenAxis[axis.Label] {
+			return nil, fmt.Errorf("campaign: axis %q listed twice", as.Name)
+		}
+		seenAxis[axis.Label] = true
+		axes[i] = axis
+		labels[i] = axis.Label
+	}
+
+	// The cell grid enumerates in the same order core.Grid does.
+	cross := core.CrossPoints(axes)
+
+	cells := make([]Cell, 0, len(protocols)*len(cross))
+	for _, proto := range protocols {
+		for _, pt := range cross {
+			spec := base
+			label := proto
+			for a := range axes {
+				axes[a].Apply(&spec, pt[a])
+				label += "|" + axes[a].Label + "=" + strconv.FormatFloat(pt[a], 'g', -1, 64)
+			}
+			cells = append(cells, Cell{
+				Index:    len(cells),
+				Protocol: proto,
+				Point:    pt,
+				Label:    label,
+				spec:     spec,
+			})
+		}
+	}
+
+	p := &Plan{
+		Spec:      s,
+		Base:      base,
+		Protocols: protocols,
+		Labels:    labels,
+		Points:    cross,
+		Cells:     cells,
+		Metrics:   core.Metrics(),
+	}
+	hash, err := p.hash()
+	if err != nil {
+		return nil, err
+	}
+	p.Hash = hash
+	return p, nil
+}
+
+// hash fingerprints everything that determines the run set and its
+// aggregation: the resolved scenario, protocols, grid, seeds and stopping
+// policy. Journals record it so a checkpoint cannot silently resume under a
+// different spec. (encoding/json sorts map keys, so the digest is canonical.)
+func (p *Plan) hash() (string, error) {
+	fingerprint := struct {
+		Base      scenario.Spec
+		Protocols []string
+		Labels    []string
+		Points    [][]float64
+		BaseSeed  int64
+		MinReps   int
+		MaxReps   int
+		Epsilon   map[string]float64
+	}{p.Base, p.Protocols, p.Labels, p.Points, p.Spec.BaseSeed, p.Spec.MinReps, p.Spec.MaxReps, p.Spec.Epsilon}
+	b, err := json.Marshal(fingerprint)
+	if err != nil {
+		return "", fmt.Errorf("campaign: hashing spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

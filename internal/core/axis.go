@@ -38,9 +38,11 @@ func (a Axis) validate() error {
 	return nil
 }
 
-// resolved fills empty Values from the Defaults hook against the sweep's
-// base spec, then validates.
-func (a Axis) resolved(base scenario.Spec) (Axis, error) {
+// Resolved fills empty Values from the Defaults hook against the given base
+// spec, then validates. Sweep/Grid call it internally; the campaign engine
+// resolves axes through it too, so default values cannot drift between the
+// two layers.
+func (a Axis) Resolved(base scenario.Spec) (Axis, error) {
 	if len(a.Values) == 0 && a.Defaults != nil {
 		a.Values = a.Defaults(base)
 	}
@@ -260,32 +262,19 @@ func (g *GridResult) Point(values ...float64) int {
 	return -1
 }
 
-// Grid evaluates every protocol at every combination of the axes' values
-// (full cross product) on the shared worker pool. A single axis degenerates
-// to Sweep; two or more axes express experiments the v1 API could not, such
-// as TxRange × offered load.
-func Grid(ctx context.Context, opts Options, axes ...Axis) (*GridResult, error) {
+// CrossPoints enumerates the axes' full cross product in row-major order
+// (last axis fastest). Axes must already have values; zero axes yield one
+// nil point (the single-cell degenerate case). Grid and the campaign
+// engine share this enumeration — campaign cell labels, and therefore the
+// content-derived replication seeds and journal hashes, depend on it.
+func CrossPoints(axes []Axis) [][]float64 {
 	if len(axes) == 0 {
-		return nil, fmt.Errorf("core: Grid needs at least one axis")
+		return [][]float64{nil}
 	}
-	opts = opts.normalized()
-	// Resolve into a private slice: callers passing a shared []Axis via
-	// axes... must not observe default-filled Values.
-	resolvedAxes := make([]Axis, len(axes))
-	labels := make([]string, len(axes))
 	points := 1
 	for i := range axes {
-		a, err := axes[i].resolved(opts.Base)
-		if err != nil {
-			return nil, err
-		}
-		resolvedAxes[i] = a
-		labels[i] = a.Label
-		points *= len(a.Values)
+		points *= len(axes[i].Values)
 	}
-	axes = resolvedAxes
-
-	// Enumerate the cross product, last axis fastest.
 	cross := make([][]float64, 0, points)
 	idx := make([]int, len(axes))
 	for {
@@ -306,6 +295,33 @@ func Grid(ctx context.Context, opts Options, axes ...Axis) (*GridResult, error) 
 			break
 		}
 	}
+	return cross
+}
+
+// Grid evaluates every protocol at every combination of the axes' values
+// (full cross product) on the shared worker pool. A single axis degenerates
+// to Sweep; two or more axes express experiments the v1 API could not, such
+// as TxRange × offered load.
+func Grid(ctx context.Context, opts Options, axes ...Axis) (*GridResult, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("core: Grid needs at least one axis")
+	}
+	opts = opts.normalized()
+	// Resolve into a private slice: callers passing a shared []Axis via
+	// axes... must not observe default-filled Values.
+	resolvedAxes := make([]Axis, len(axes))
+	labels := make([]string, len(axes))
+	for i := range axes {
+		a, err := axes[i].Resolved(opts.Base)
+		if err != nil {
+			return nil, err
+		}
+		resolvedAxes[i] = a
+		labels[i] = a.Label
+	}
+	axes = resolvedAxes
+
+	cross := CrossPoints(axes)
 
 	axisLabel := strings.Join(labels, "×")
 	jobs := make([]runJob, 0, len(opts.Protocols)*len(cross)*len(opts.Seeds))

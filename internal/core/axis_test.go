@@ -191,7 +191,7 @@ func TestAxisByName(t *testing.T) {
 			t.Errorf("catalogue axis %q: %v", name, err)
 			continue
 		}
-		r, err := a.resolved(scenario.Default())
+		r, err := a.Resolved(scenario.Default())
 		if err != nil {
 			t.Errorf("catalogue axis %q does not resolve: %v", name, err)
 		} else if len(r.Values) == 0 {
@@ -205,7 +205,7 @@ func TestAxisByName(t *testing.T) {
 func TestPauseAxisDefaultsScaleWithDuration(t *testing.T) {
 	base := scenario.Default()
 	base.Duration = 150 * sim.Second
-	a, err := PauseAxis(nil).resolved(base)
+	a, err := PauseAxis(nil).Resolved(base)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"adhocsim/internal/mac"
@@ -378,6 +379,27 @@ var (
 	MetricMacLoad    = Metric{"mac_load", "frames/delivered", func(r stats.Results) float64 { return r.NormalizedMacLoad }}
 	MetricAvgHops    = Metric{"avg_hops", "hops", func(r stats.Results) float64 { return r.AvgHops }}
 )
+
+// Metrics returns the full metric catalogue in presentation order.
+func Metrics() []Metric {
+	return []Metric{MetricPDR, MetricDelay, MetricOverhead, MetricNRL,
+		MetricThroughput, MetricMacLoad, MetricAvgHops}
+}
+
+// MetricByName resolves a catalogue metric by its Name ("pdr", "delay", …),
+// case-insensitively.
+func MetricByName(name string) (Metric, error) {
+	for _, m := range Metrics() {
+		if strings.EqualFold(strings.TrimSpace(name), m.Name) {
+			return m, nil
+		}
+	}
+	known := make([]string, 0, len(Metrics()))
+	for _, m := range Metrics() {
+		known = append(known, m.Name)
+	}
+	return Metric{}, fmt.Errorf("core: unknown metric %q (known: %s)", name, strings.Join(known, ", "))
+}
 
 // sortedKeys is a small helper for deterministic map iteration in renders.
 func sortedKeys[M ~map[string]uint64](m M) []string {

@@ -30,14 +30,21 @@ func (g *RNG) Fork(id int64) *RNG {
 	return NewRNG(int64(g.r.Uint64()>>1) ^ mix(id))
 }
 
-// ForkNamed derives a substream from a string label (hashing the label).
-func (g *RNG) ForkNamed(name string) *RNG {
+// fnvLabel hashes a string label (FNV-1a) for substream forking and seed
+// derivation. Both users must keep sharing it: the constants are part of
+// the cross-process determinism contract.
+func fnvLabel(s string) int64 {
 	var h int64 = 1469598103934665603
-	for i := 0; i < len(name); i++ {
-		h ^= int64(name[i])
+	for i := 0; i < len(s); i++ {
+		h ^= int64(s[i])
 		h *= 1099511628211
 	}
-	return g.Fork(h)
+	return h
+}
+
+// ForkNamed derives a substream from a string label (hashing the label).
+func (g *RNG) ForkNamed(name string) *RNG {
+	return g.Fork(fnvLabel(name))
 }
 
 // Float64 returns a uniform draw in [0,1).

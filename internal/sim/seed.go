@@ -1,0 +1,13 @@
+package sim
+
+// DeriveSeed deterministically derives a per-run seed from a campaign base
+// seed and a textual run label (e.g. "DSR|pause_s=0|rep=3"). It is
+// content-addressed: the same (base, label) pair always yields the same seed
+// regardless of run scheduling, process, or platform, so a resumed campaign
+// re-executes exactly the runs an uninterrupted one would. The label is
+// FNV-1a hashed and combined with the splitmix-finalized base so that
+// adjacent base seeds and near-identical labels land in well-separated
+// streams.
+func DeriveSeed(base int64, label string) int64 {
+	return mix(fnvLabel(label) ^ mix(base))
+}

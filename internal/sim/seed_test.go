@@ -1,0 +1,34 @@
+package sim
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(1, "DSR|pause_s=0|rep=0")
+	b := DeriveSeed(1, "DSR|pause_s=0|rep=0")
+	if a != b {
+		t.Fatalf("same inputs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedSeparation(t *testing.T) {
+	seen := make(map[int64]string)
+	add := func(base int64, label string) {
+		s := DeriveSeed(base, label)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("collision: (%d,%q) and %q both map to %d", base, label, prev, s)
+		}
+		seen[s] = label
+	}
+	// Near-identical labels and adjacent bases must all separate.
+	for base := int64(0); base < 4; base++ {
+		for rep := 0; rep < 50; rep++ {
+			add(base, "DSR|pause_s=0|rep="+string(rune('0'+rep%10))+string(rune('a'+rep/10)))
+		}
+	}
+	if DeriveSeed(1, "AODV|rep=0") == DeriveSeed(1, "DSR|rep=0") {
+		t.Fatal("protocol change did not change the seed")
+	}
+	if DeriveSeed(1, "DSR|rep=0") == DeriveSeed(2, "DSR|rep=0") {
+		t.Fatal("base change did not change the seed")
+	}
+}

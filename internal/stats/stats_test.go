@@ -243,12 +243,11 @@ func TestMergeResults(t *testing.T) {
 
 func TestCI95(t *testing.T) {
 	s := Summarize([]float64{10, 12, 14, 16, 18})
-	ci := s.CI95()
 	// stddev ≈ 3.162, t(4) = 2.776 → CI ≈ 3.93.
-	if ci < 3.8 || ci < 0 || ci > 4.1 {
-		t.Fatalf("CI95 = %v", ci)
+	if s.CI95 < 3.8 || s.CI95 > 4.1 {
+		t.Fatalf("CI95 = %v", s.CI95)
 	}
-	if Summarize([]float64{5}).CI95() != 0 {
+	if Summarize([]float64{5}).CI95 != 0 {
 		t.Fatal("single-sample CI must be 0")
 	}
 	// Large samples approach the normal quantile.
@@ -258,7 +257,7 @@ func TestCI95(t *testing.T) {
 	}
 	s = Summarize(big)
 	want := 1.96 * s.StdDev / 10
-	if d := s.CI95() - want; d < -1e-9 || d > 1e-9 {
-		t.Fatalf("large-sample CI = %v, want %v", s.CI95(), want)
+	if d := s.CI95 - want; d < -1e-9 || d > 1e-9 {
+		t.Fatalf("large-sample CI = %v, want %v", s.CI95, want)
 	}
 }

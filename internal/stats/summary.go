@@ -14,6 +14,10 @@ type Summary struct {
 	StdDev float64
 	Min    float64
 	Max    float64
+	// CI95 is the half-width of the 95% confidence interval for the mean
+	// (Student-t quantiles through n=31, normal approximation beyond).
+	// Zero for samples of size < 2.
+	CI95 float64
 }
 
 // Summarize computes a Summary over xs. An empty sample yields zeros.
@@ -42,16 +46,18 @@ func Summarize(xs []float64) Summary {
 		}
 		s.StdDev = math.Sqrt(ss / float64(s.N-1))
 	}
+	s.CI95 = ci95(s.N, s.StdDev)
 	return s
 }
 
-// CI95 returns the half-width of the 95% confidence interval for the mean,
-// using Student's t quantiles. Zero for samples of size < 2.
-func (s Summary) CI95() float64 {
-	if s.N < 2 {
+// ci95 returns the half-width of the 95% confidence interval for the mean of
+// an n-sample with the given sample standard deviation, using Student's t
+// quantiles. Zero for samples of size < 2.
+func ci95(n int, stddev float64) float64 {
+	if n < 2 {
 		return 0
 	}
-	return t95(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+	return t95(n-1) * stddev / math.Sqrt(float64(n))
 }
 
 // t95 returns the two-sided 95% Student-t quantile for df degrees of

@@ -38,6 +38,10 @@ func (c Connection) Validate(numNodes int) error {
 	if c.PayloadBytes <= 0 {
 		return fmt.Errorf("traffic: non-positive payload %d", c.PayloadBytes)
 	}
+	if c.Stop != 0 && c.Stop <= c.Start {
+		return fmt.Errorf("traffic: connection %v->%v stops at %v, at or before its start %v",
+			c.Src, c.Dst, c.Stop, c.Start)
+	}
 	return nil
 }
 

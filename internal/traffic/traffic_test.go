@@ -38,11 +38,23 @@ func TestConnectionValidate(t *testing.T) {
 		{Src: -1, Dst: 1, Rate: 4, PayloadBytes: 64},
 		{Src: 0, Dst: 1, Rate: 0, PayloadBytes: 64},
 		{Src: 0, Dst: 1, Rate: 4, PayloadBytes: 0},
+		// Stop at or before Start: the flow would silently never send.
+		{Src: 0, Dst: 1, Rate: 4, PayloadBytes: 64, Start: sim.At(10), Stop: sim.At(5)},
+		{Src: 0, Dst: 1, Rate: 4, PayloadBytes: 64, Start: sim.At(10), Stop: sim.At(10)},
 	}
 	for i, c := range bad {
 		if err := c.Validate(2); err == nil {
 			t.Fatalf("bad connection %d accepted", i)
 		}
+	}
+	// Stop == 0 still means "never stops", and a Stop after Start is fine.
+	open := traffic.Connection{Src: 0, Dst: 1, Rate: 4, PayloadBytes: 64, Start: sim.At(10)}
+	if err := open.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	bounded := traffic.Connection{Src: 0, Dst: 1, Rate: 4, PayloadBytes: 64, Start: sim.At(1), Stop: sim.At(3)}
+	if err := bounded.Validate(2); err != nil {
+		t.Fatal(err)
 	}
 }
 
