@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke
+.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke scenario-smoke
 
 ## verify: the tier-1 gate — formatting, vet, build, tests.
 verify: fmt vet build test
@@ -32,6 +32,11 @@ race:
 ## adhocd HTTP API on a loopback port (submit → poll → results → delete).
 campaign-smoke:
 	$(GO) run ./cmd/adhocd -smoke
+
+## scenario-smoke: run a tiny protocol × mobility × traffic model matrix
+## through the campaign engine (exercises the scenario model registries).
+scenario-smoke:
+	$(GO) run ./examples/model_matrix
 
 ## bench: smoke-scale benchmarks (1 iteration each, shape check).
 bench:

@@ -48,6 +48,17 @@
 //	sweep, err := adhocsim.Sweep(ctx, opts, adhocsim.TxRangeAxis(nil))
 //	grid, err := adhocsim.Grid(ctx, opts, adhocsim.TxRangeAxis(nil), adhocsim.RateAxis(nil))
 //
+// Scenario families resolve through model registries: Spec.Mobility and
+// Spec.Traffic name registered mobility models (random waypoint,
+// Gauss-Markov, Manhattan grid, RPGM, random walk, static grid) and
+// traffic models (CBR, Poisson, exponential on/off VBR) with JSON-friendly
+// parameter maps, and RegisterMobilityModel / RegisterTrafficModel plug in
+// new ones. The model axes (MobilityModelAxis, TrafficModelAxis) sweep the
+// family itself as a grid dimension:
+//
+//	spec.Mobility = adhocsim.MobilitySpec{Name: "gauss-markov", Params: map[string]float64{"alpha": 0.85}}
+//	grid, err := adhocsim.Grid(ctx, opts, adhocsim.MobilityModelAxis(nil), adhocsim.TrafficModelAxis(nil))
+//
 // Long experiments are cancellable and observable: every runner threads a
 // context.Context down into the event loop (cancellation aborts promptly
 // with ctx.Err()), and Options.OnProgress receives a callback after every
@@ -75,12 +86,14 @@ import (
 	"adhocsim/internal/core"
 	"adhocsim/internal/geo"
 	"adhocsim/internal/mac"
+	"adhocsim/internal/mobility"
 	"adhocsim/internal/network"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/pkt"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
+	"adhocsim/internal/traffic"
 )
 
 // Protocol names understood by Run and the sweep helpers.
@@ -113,6 +126,57 @@ func RegisterProtocol(name string, builder ProtocolBuilder) error {
 
 // Spec describes a scenario; see DefaultSpec for the study configuration.
 type Spec = scenario.Spec
+
+// MobilitySpec selects a registered mobility model by name with optional
+// parameters inside a Spec ({"name": "gauss-markov", "params": {...}}); the
+// zero value is the study's random waypoint.
+type MobilitySpec = scenario.MobilitySpec
+
+// TrafficSpec selects a registered traffic model inside a Spec; the zero
+// value is the study's CBR workload.
+type TrafficSpec = scenario.TrafficSpec
+
+// Scenario-model extension surface: the types an external mobility or
+// traffic model implements against, re-exported so registrations need no
+// internal imports.
+type (
+	// MobilityModel generates one movement track per node.
+	MobilityModel = mobility.Model
+	// MobilityEnv carries the spec-level area/speed/pause fields into a
+	// mobility model builder.
+	MobilityEnv = mobility.Env
+	// MobilityParams is the parameter map view handed to mobility builders.
+	MobilityParams = mobility.Params
+	// MobilityBuilder constructs a mobility model; see RegisterMobilityModel.
+	MobilityBuilder = mobility.Builder
+	// Track is a node's piecewise-linear movement schedule.
+	Track = mobility.Track
+	// TrafficGenerator expands a traffic environment into connections.
+	TrafficGenerator = traffic.Generator
+	// TrafficEnv carries the spec-level traffic fields into a generator.
+	TrafficEnv = traffic.Env
+	// TrafficParams is the parameter map view handed to traffic builders.
+	TrafficParams = traffic.Params
+	// TrafficBuilder constructs a traffic generator; see RegisterTrafficModel.
+	TrafficBuilder = traffic.Builder
+	// TrafficConnection is one generated flow (the generator's output unit).
+	TrafficConnection = traffic.Connection
+)
+
+// RegisterMobilityModel plugs a new mobility model into the registry under
+// the given case-insensitive name. Once registered it is selectable
+// everywhere a built-in is: Spec.Mobility, campaign patches and axes, and
+// the cmd tools.
+func RegisterMobilityModel(name string, b MobilityBuilder) error { return mobility.Register(name, b) }
+
+// RegisterTrafficModel plugs a new traffic model into the registry.
+func RegisterTrafficModel(name string, b TrafficBuilder) error { return traffic.Register(name, b) }
+
+// RegisteredMobilityModels lists every mobility model name, sorted.
+func RegisteredMobilityModels() []string { return mobility.Registered() }
+
+// RegisteredTrafficModels lists every traffic model name, sorted.
+func RegisteredTrafficModels() []string { return traffic.Registered() }
 
 // Rect is the simulation area type used in Spec.
 type Rect = geo.Rect
@@ -259,6 +323,17 @@ func TxRangeAxis(vs []float64) Axis   { return core.TxRangeAxis(vs) }
 func CSRangeAxis(vs []float64) Axis   { return core.CSRangeAxis(vs) }
 func AreaWidthAxis(vs []float64) Axis { return core.AreaWidthAxis(vs) }
 func PayloadAxis(vs []float64) Axis   { return core.PayloadAxis(vs) }
+
+// MobilityModelAxis and TrafficModelAxis sweep the scenario family itself:
+// their values index a list of registered model names (nil selects the
+// whole registry), so a Grid can cross protocols × mobility × traffic
+// models. ModelAxisByName is the string-list form used by JSON campaign
+// specs ({"name": "mobility", "models": [...]}).
+func MobilityModelAxis(names []string) Axis { return core.MobilityModelAxis(names) }
+func TrafficModelAxis(names []string) Axis  { return core.TrafficModelAxis(names) }
+func ModelAxisByName(name string, models []string) (Axis, error) {
+	return core.ModelAxisByName(name, models)
+}
 
 // AxisByName resolves a catalogue axis by CLI-friendly name ("txrange",
 // "pause", …); AxisNames lists them.

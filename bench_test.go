@@ -319,11 +319,11 @@ func largeNSpec() adhocsim.Spec {
 	return s
 }
 
-func runLargeN(b *testing.B, phy adhocsim.PhyConfig) {
+func runLargeN(b *testing.B, spec adhocsim.Spec, phy adhocsim.PhyConfig) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		res, err := adhocsim.Run(adhocsim.RunConfig{
-			Spec:     largeNSpec(),
+			Spec:     spec,
 			Protocol: adhocsim.CBRP,
 			Seed:     1,
 			Phy:      phy,
@@ -340,12 +340,23 @@ func runLargeN(b *testing.B, phy adhocsim.PhyConfig) {
 // BenchmarkSingleRunLargeN measures one 200-node run on the spatial-index
 // transmit path (the default).
 func BenchmarkSingleRunLargeN(b *testing.B) {
-	runLargeN(b, adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second})
+	runLargeN(b, largeNSpec(), adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second})
 }
 
 // BenchmarkSingleRunLargeNBruteForce is the identical run on the legacy
 // all-radios loop; the ns/op ratio against BenchmarkSingleRunLargeN is the
 // spatial index's speedup (≥5× on the reference hardware).
 func BenchmarkSingleRunLargeNBruteForce(b *testing.B) {
-	runLargeN(b, adhocsim.PhyConfig{BruteForce: true})
+	runLargeN(b, largeNSpec(), adhocsim.PhyConfig{BruteForce: true})
+}
+
+// BenchmarkSingleRunLargeNGaussMarkov is the same 200-node spatial-index
+// run under registry-selected Gauss-Markov mobility, so the committed
+// baseline tracks a non-waypoint scenario. Gauss-Markov emits one segment
+// per node per tick (~900 per track here vs a handful for waypoint),
+// stressing track evaluation and the index's speed-bound padding.
+func BenchmarkSingleRunLargeNGaussMarkov(b *testing.B) {
+	spec := largeNSpec()
+	spec.Mobility = adhocsim.MobilitySpec{Name: "gauss-markov"}
+	runLargeN(b, spec, adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second})
 }

@@ -83,10 +83,15 @@ func main() {
 
 // smokeSpec is the tiny campaign of the smoke test: 2 protocols × 2
 // replication seeds on a 10-node, 10-second scenario — 4 runs, a few
-// seconds of wall clock.
+// seconds of wall clock. It selects non-default scenario models so the
+// smoke also proves the registry path end to end over HTTP.
 const smokeSpec = `{
   "name": "smoke",
-  "base": {"nodes": 10, "area_w_m": 600, "duration_s": 10, "sources": 3},
+  "base": {
+    "nodes": 10, "area_w_m": 600, "duration_s": 10, "sources": 3,
+    "mobility": {"name": "gauss-markov", "params": {"alpha": 0.8}},
+    "traffic": {"name": "expoo", "params": {"on_s": 0.5, "off_s": 0.5}}
+  },
   "protocols": ["DSR", "AODV"],
   "max_reps": 2
 }`

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	adhocsim -proto DSR -nodes 40 -pause 0 -speed 20 -sources 10 -dur 150 -seed 1
+//	adhocsim -proto AODV -mobility gauss-markov,alpha=0.85 -traffic expoo,on_s=0.5,off_s=1
 //	adhocsim -campaign spec.json -checkpoint run.jsonl
 package main
 
@@ -17,11 +18,40 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 
 	"adhocsim"
 	"adhocsim/internal/trace"
 )
+
+// parseModelFlag parses "name" or "name,key=value,key=value" into a model
+// name plus a parameter map ("" means the default model).
+func parseModelFlag(flagName, s string) (string, map[string]float64) {
+	if s == "" {
+		return "", nil
+	}
+	parts := strings.Split(s, ",")
+	name := strings.TrimSpace(parts[0])
+	var params map[string]float64
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "adhocsim: -%s: %q is not key=value\n", flagName, kv)
+			os.Exit(2)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: -%s: %q: %v\n", flagName, kv, err)
+			os.Exit(2)
+		}
+		if params == nil {
+			params = make(map[string]float64)
+		}
+		params[strings.TrimSpace(key)] = x
+	}
+	return name, params
+}
 
 // runCampaign executes a campaign spec end to end: progress on stderr, the
 // aggregated Result as JSON on stdout. With -checkpoint, completed runs are
@@ -84,6 +114,8 @@ func main() {
 		payload   = flag.Int("payload", 64, "payload bytes per packet")
 		dur       = flag.Float64("dur", 150, "simulated duration (s)")
 		txRange   = flag.Float64("range", 250, "radio range (m)")
+		mobility  = flag.String("mobility", "", "mobility model, optionally with parameters (\"gauss-markov,alpha=0.85\"); models: "+strings.Join(adhocsim.RegisteredMobilityModels(), ", "))
+		traffic   = flag.String("traffic", "", "traffic model, optionally with parameters (\"expoo,on_s=0.5\"); models: "+strings.Join(adhocsim.RegisteredTrafficModels(), ", "))
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		seeds     = flag.Int("seeds", 1, "number of replication seeds (averaged)")
 		verbose   = flag.Bool("v", false, "print drop census and overhead breakdown")
@@ -115,6 +147,10 @@ func main() {
 	spec.PayloadBytes = *payload
 	spec.Duration = adhocsim.Seconds(*dur)
 	spec.TxRange = *txRange
+	mobName, mobParams := parseModelFlag("mobility", *mobility)
+	spec.Mobility = adhocsim.MobilitySpec{Name: mobName, Params: mobParams}
+	traName, traParams := parseModelFlag("traffic", *traffic)
+	spec.Traffic = adhocsim.TrafficSpec{Name: traName, Params: traParams}
 
 	var seedList []int64
 	for i := 0; i < *seeds; i++ {
@@ -168,6 +204,16 @@ func main() {
 	fmt.Printf("protocol            %s\n", strings.ToUpper(*proto))
 	fmt.Printf("scenario            %d nodes, %.0fx%.0f m, pause %.0fs, speed %.0f m/s, %d srcs @ %.1f pkt/s, %.0fs\n",
 		*nodes, *areaW, *areaH, *pause, *speed, *sources, *rate, *dur)
+	if mobName != "" || traName != "" {
+		showModel := func(name, def string) string {
+			if name == "" {
+				return def + " (default)"
+			}
+			return name
+		}
+		fmt.Printf("models              mobility %s, traffic %s\n",
+			showModel(mobName, "waypoint"), showModel(traName, "cbr"))
+	}
 	fmt.Printf("data sent/received  %d / %d (+%d dup)\n", res.DataSent, res.DataDelivered, res.DupDelivered)
 	fmt.Printf("packet delivery     %.2f %%\n", res.PDR*100)
 	fmt.Printf("avg e2e delay       %.2f ms (p50 %.2f, p95 %.2f)\n", res.AvgDelay*1e3, res.P50Delay*1e3, res.P95Delay*1e3)

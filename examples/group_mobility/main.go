@@ -12,9 +12,6 @@ import (
 	"log"
 
 	"adhocsim"
-	"adhocsim/internal/geo"
-	"adhocsim/internal/mobility"
-	"adhocsim/internal/sim"
 )
 
 func main() {
@@ -23,13 +20,14 @@ func main() {
 	spec.Area = adhocsim.Rect{W: 1200, H: 600}
 	spec.Duration = 120 * adhocsim.Second
 	spec.Sources = 8
-	spec.Model = mobility.GroupMobility{
-		Area:     geo.Rect{W: 1200, H: 600},
-		Groups:   4, // four 6-node teams
-		MinSpeed: 2,
-		MaxSpeed: 10,
-		Pause:    10 * sim.Second,
-		Spread:   90,
+	spec.MinSpeed, spec.MaxSpeed = 2, 10
+	spec.Pause = 10 * adhocsim.Second
+	spec.Mobility = adhocsim.MobilitySpec{
+		Name: "rpgm", // Reference Point Group Mobility
+		Params: map[string]float64{
+			"groups":   4, // four 6-node teams
+			"spread_m": 90,
+		},
 	}
 
 	fmt.Println("four 6-node teams roaming a 1200x600 m area (RPGM):")

@@ -1,0 +1,199 @@
+package campaign
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpandModelAxis: a grid axis sweeping mobility model names must
+// produce one cell per model with name-carrying (seed-deriving) labels.
+func TestExpandModelAxis(t *testing.T) {
+	plan, err := Spec{
+		Protocols: []string{"DSR"},
+		Axes: []AxisSpec{
+			{Name: "mobility", Models: []string{"waypoint", "gauss-markov", "manhattan"}},
+		},
+		MaxReps: 1,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cells) != 3 {
+		t.Fatalf("cells = %d", len(plan.Cells))
+	}
+	want := []string{
+		"DSR|mobility_model=waypoint",
+		"DSR|mobility_model=gauss-markov",
+		"DSR|mobility_model=manhattan",
+	}
+	for i, cell := range plan.Cells {
+		if cell.Label != want[i] {
+			t.Fatalf("cell %d label = %q, want %q", i, cell.Label, want[i])
+		}
+	}
+	// Labels carry names, so replication seeds differ per model.
+	if plan.SeedFor(0, 0) == plan.SeedFor(1, 0) {
+		t.Fatal("model cells share replication seeds")
+	}
+}
+
+// TestExpandModelAxisHashDependsOnModels: same indices, different model
+// lists → different spec hashes, so a journal cannot silently resume under
+// a different model sweep.
+func TestExpandModelAxisHashDependsOnModels(t *testing.T) {
+	expand := func(models []string) *Plan {
+		plan, err := Spec{
+			Protocols: []string{"DSR"},
+			Axes:      []AxisSpec{{Name: "traffic", Models: models}},
+			MaxReps:   1,
+		}.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	a := expand([]string{"cbr", "poisson"})
+	b := expand([]string{"cbr", "expoo"})
+	if a.Hash == b.Hash {
+		t.Fatal("different model lists produced identical spec hashes")
+	}
+}
+
+func TestExpandModelAxisErrors(t *testing.T) {
+	bad := []Spec{
+		{Axes: []AxisSpec{{Name: "mobility", Models: []string{"teleport"}}}},
+		{Axes: []AxisSpec{{Name: "pause", Models: []string{"waypoint"}}}},
+		{Axes: []AxisSpec{{Name: "mobility", Models: []string{"waypoint"}, Values: []float64{0}}}},
+	}
+	for i, s := range bad {
+		if _, err := s.Expand(); err == nil {
+			t.Fatalf("bad model axis %d accepted", i)
+		}
+	}
+}
+
+// TestScenarioPatchModels: the HTTP-facing patch selects models by name
+// with parameters, and an unknown name fails expansion loudly.
+func TestScenarioPatchModels(t *testing.T) {
+	var spec Spec
+	blob := `{
+	  "base": {
+	    "nodes": 12, "duration_s": 20,
+	    "mobility": {"name": "gauss-markov", "params": {"alpha": 0.85}},
+	    "traffic": {"name": "expoo", "params": {"on_s": 0.5, "off_s": 1.5}}
+	  },
+	  "protocols": ["DSR"],
+	  "max_reps": 1
+	}`
+	if err := json.Unmarshal([]byte(blob), &spec); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Base.Mobility.Name != "gauss-markov" || plan.Base.Mobility.Params["alpha"] != 0.85 {
+		t.Fatalf("mobility patch not applied: %+v", plan.Base.Mobility)
+	}
+	if plan.Base.Traffic.Name != "expoo" || plan.Base.Traffic.Params["off_s"] != 1.5 {
+		t.Fatalf("traffic patch not applied: %+v", plan.Base.Traffic)
+	}
+
+	var badSpec Spec
+	bad := `{"base": {"mobility": {"name": "teleport"}}, "max_reps": 1}`
+	if err := json.Unmarshal([]byte(bad), &badSpec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := badSpec.Expand(); err == nil {
+		t.Fatal("unknown mobility model accepted")
+	}
+}
+
+// modelMatrixSpecJSON is the acceptance scenario of the model-registry PR:
+// a JSON campaign selecting Gauss-Markov mobility parameters and the expoo
+// VBR workload in the base patch, crossed with a mobility-model grid axis.
+const modelMatrixSpecJSON = `{
+  "name": "model-matrix",
+  "base": {
+    "nodes": 10, "area_w_m": 600, "duration_s": 10, "sources": 3,
+    "mobility": {"name": "gauss-markov", "params": {"alpha": 0.8}},
+    "traffic": {"name": "expoo", "params": {"on_s": 0.5, "off_s": 0.5}}
+  },
+  "protocols": ["DSR"],
+  "axes": [{"name": "mobility", "models": ["waypoint", "gauss-markov", "manhattan"]}],
+  "max_reps": 1
+}`
+
+// TestServerModelCampaignEndToEnd drives the acceptance criterion over real
+// HTTP: POST a campaign whose base selects gauss-markov/expoo and whose
+// grid axis sweeps mobility models, poll to completion, and require
+// distinct per-model metric cells in the results.
+func TestServerModelCampaignEndToEnd(t *testing.T) {
+	_, ts := startServer(t)
+	created := submit(t, ts, modelMatrixSpecJSON)
+	if created.Cells != 3 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var snap Snapshot
+	for {
+		resp, err := http.Get(ts.URL + "/campaigns/" + created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, &snap)
+		if snap.State == StateDone || snap.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck: %+v", snap)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if snap.State != StateDone {
+		t.Fatalf("campaign ended %s: %s", snap.State, snap.Err)
+	}
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	decodeBody(t, resp, &res)
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	seenLabel := make(map[string]bool)
+	seenMetrics := make(map[string]bool)
+	for _, cell := range res.Cells {
+		if cell.Merged.DataSent == 0 {
+			t.Fatalf("degenerate cell %q: %+v", cell.Label, cell)
+		}
+		if !strings.Contains(cell.Label, "mobility_model=") {
+			t.Fatalf("cell label %q missing model name", cell.Label)
+		}
+		seenLabel[cell.Label] = true
+		// Distinct models must yield distinct metric cells (identical
+		// triples would mean the axis silently failed to apply).
+		fp := ""
+		for _, m := range []string{"pdr", "delay", "throughput"} {
+			fp += "|" + strconvF(cell.Metrics[m].Mean)
+		}
+		seenMetrics[fp] = true
+	}
+	if len(seenLabel) != 3 {
+		t.Fatalf("labels not distinct: %v", seenLabel)
+	}
+	if len(seenMetrics) < 2 {
+		t.Fatalf("per-model metric cells are not distinct: %v", seenMetrics)
+	}
+}
+
+func strconvF(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -30,10 +30,14 @@ import (
 
 // AxisSpec names a catalogue axis ("pause", "nodes", "txrange", …; see
 // core.AxisNames) and the values to visit. Nil or empty Values select the
-// axis defaults.
+// axis defaults. The categorical model axes ("mobility", "traffic") take
+// registry model names via Models instead — e.g.
+// {"name": "mobility", "models": ["waypoint", "gauss-markov", "manhattan"]} —
+// and sweep the scenario family as a grid dimension.
 type AxisSpec struct {
 	Name   string    `json:"name"`
 	Values []float64 `json:"values,omitempty"`
+	Models []string  `json:"models,omitempty"`
 }
 
 // ScenarioPatch overrides individual fields of the default study scenario
@@ -53,6 +57,12 @@ type ScenarioPatch struct {
 	PayloadBytes *int     `json:"payload_bytes,omitempty"`
 	TxRange      *float64 `json:"tx_range_m,omitempty"`
 	CSRange      *float64 `json:"cs_range_m,omitempty"`
+	// Mobility/Traffic select registered scenario models by name with
+	// optional parameters, e.g. {"name": "gauss-markov", "params":
+	// {"alpha": 0.85}}. Absent fields keep the study models (random
+	// waypoint, CBR).
+	Mobility *scenario.MobilitySpec `json:"mobility,omitempty"`
+	Traffic  *scenario.TrafficSpec  `json:"traffic,omitempty"`
 }
 
 func (p ScenarioPatch) apply(s *scenario.Spec) {
@@ -94,6 +104,12 @@ func (p ScenarioPatch) apply(s *scenario.Spec) {
 	}
 	if p.CSRange != nil {
 		s.CSRange = *p.CSRange
+	}
+	if p.Mobility != nil {
+		s.Mobility = *p.Mobility
+	}
+	if p.Traffic != nil {
+		s.Traffic = *p.Traffic
 	}
 }
 
@@ -245,7 +261,16 @@ func (s Spec) Expand() (*Plan, error) {
 	labels := make([]string, len(s.Axes))
 	seenAxis := make(map[string]bool, len(s.Axes))
 	for i, as := range s.Axes {
-		axis, err := core.AxisByName(as.Name, as.Values)
+		var axis core.Axis
+		var err error
+		if len(as.Models) > 0 {
+			if len(as.Values) > 0 {
+				return nil, fmt.Errorf("campaign: axis %q sets both values and models", as.Name)
+			}
+			axis, err = core.ModelAxisByName(as.Name, as.Models)
+		} else {
+			axis, err = core.AxisByName(as.Name, as.Values)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("campaign: %w", err)
 		}
@@ -271,7 +296,7 @@ func (s Spec) Expand() (*Plan, error) {
 			label := proto
 			for a := range axes {
 				axes[a].Apply(&spec, pt[a])
-				label += "|" + axes[a].Label + "=" + strconv.FormatFloat(pt[a], 'g', -1, 64)
+				label += "|" + axes[a].Label + "=" + axes[a].FormatValue(pt[a])
 			}
 			cells = append(cells, Cell{
 				Index:    len(cells),
@@ -305,16 +330,24 @@ func (s Spec) Expand() (*Plan, error) {
 // policy. Journals record it so a checkpoint cannot silently resume under a
 // different spec. (encoding/json sorts map keys, so the digest is canonical.)
 func (p *Plan) hash() (string, error) {
+	// Cell labels fingerprint the formatted axis values too: categorical
+	// model axes encode indices in Points, so two campaigns sweeping
+	// different model lists would otherwise hash identically.
+	cellLabels := make([]string, len(p.Cells))
+	for i := range p.Cells {
+		cellLabels[i] = p.Cells[i].Label
+	}
 	fingerprint := struct {
-		Base      scenario.Spec
-		Protocols []string
-		Labels    []string
-		Points    [][]float64
-		BaseSeed  int64
-		MinReps   int
-		MaxReps   int
-		Epsilon   map[string]float64
-	}{p.Base, p.Protocols, p.Labels, p.Points, p.Spec.BaseSeed, p.Spec.MinReps, p.Spec.MaxReps, p.Spec.Epsilon}
+		Base       scenario.Spec
+		Protocols  []string
+		Labels     []string
+		Points     [][]float64
+		CellLabels []string
+		BaseSeed   int64
+		MinReps    int
+		MaxReps    int
+		Epsilon    map[string]float64
+	}{p.Base, p.Protocols, p.Labels, p.Points, cellLabels, p.Spec.BaseSeed, p.Spec.MinReps, p.Spec.MaxReps, p.Spec.Epsilon}
 	b, err := json.Marshal(fingerprint)
 	if err != nil {
 		return "", fmt.Errorf("campaign: hashing spec: %w", err)

@@ -5,11 +5,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/modelreg"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
+	"adhocsim/internal/traffic"
 )
 
 // Axis is one sweepable scenario dimension: a label for rendering, the
@@ -26,6 +30,27 @@ type Axis struct {
 	// constructors with static defaults fill Values directly; PauseAxis
 	// uses this hook because its defaults scale with scenario duration.
 	Defaults func(scenario.Spec) []float64
+	// Format, when non-nil, renders a value for labels (campaign cell
+	// labels, renders). Categorical axes — the mobility/traffic model
+	// axes, whose float values index a name list — use it so labels read
+	// "mobility_model=gauss-markov" rather than an opaque index, and so
+	// campaign replication seeds derive from model names instead of list
+	// positions.
+	Format func(float64) string
+	// CheckValue, when non-nil, validates each value at Resolved time.
+	// Categorical axes reject non-integer or out-of-range indices here, so
+	// a bad index fails the sweep/campaign at expansion instead of
+	// silently running a mislabeled default-model cell.
+	CheckValue func(float64) error
+}
+
+// FormatValue renders one axis value for labels: Format when set, else the
+// shortest exact float form.
+func (a Axis) FormatValue(x float64) string {
+	if a.Format != nil {
+		return a.Format(x)
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
 }
 
 func (a Axis) validate() error {
@@ -34,6 +59,24 @@ func (a Axis) validate() error {
 	}
 	if len(a.Values) == 0 {
 		return fmt.Errorf("core: axis %q has no values", a.Label)
+	}
+	seen := make(map[string]bool, len(a.Values))
+	for _, v := range a.Values {
+		if a.CheckValue != nil {
+			if err := a.CheckValue(v); err != nil {
+				return fmt.Errorf("core: axis %q: %w", a.Label, err)
+			}
+		}
+		// Duplicate points would expand into cells with identical labels
+		// and therefore identical content-derived replication seeds — pure
+		// wasted work, same hazard campaign.Expand rejects for duplicate
+		// protocols. Compare formatted values so categorical axes catch
+		// index pairs that alias the same model name.
+		key := a.FormatValue(v)
+		if seen[key] {
+			return fmt.Errorf("core: axis %q visits %s twice", a.Label, key)
+		}
+		seen[key] = true
 	}
 	return nil
 }
@@ -192,7 +235,129 @@ func PayloadAxis(vs []float64) Axis {
 	}}
 }
 
-// axisConstructors maps CLI-friendly names to catalogue constructors.
+// modelAxis builds a categorical axis over a model-name list: values are
+// indices into names, Apply writes the indexed name into the spec, Format
+// renders names into labels (and therefore into campaign cell labels and
+// content-derived replication seeds).
+func modelAxis(label string, names []string, apply func(*scenario.Spec, string)) Axis {
+	names = append([]string(nil), names...)
+	vs := make([]float64, len(names))
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	return Axis{
+		Label:  label,
+		Values: vs,
+		Apply: func(s *scenario.Spec, x float64) {
+			if i := int(x); i >= 0 && i < len(names) {
+				apply(s, names[i])
+			}
+		},
+		Format: func(x float64) string {
+			if i := int(x); i >= 0 && i < len(names) && float64(i) == x {
+				return names[i]
+			}
+			return strconv.FormatFloat(x, 'g', -1, 64)
+		},
+		CheckValue: func(x float64) error {
+			if i := int(x); float64(i) != x || i < 0 || i >= len(names) {
+				return fmt.Errorf("value %v does not index the model list %v", x, names)
+			}
+			return nil
+		},
+	}
+}
+
+// sameModelName compares two model names canonically, resolving the empty
+// name to the model kind's default.
+func sameModelName(a, b, def string) bool {
+	ca := modelreg.Canonical(a)
+	if ca == "" {
+		ca = def
+	}
+	cb := modelreg.Canonical(b)
+	if cb == "" {
+		cb = def
+	}
+	return ca == cb
+}
+
+// MobilityModelAxis sweeps the mobility model by registry name (the
+// scenario-family dimension the study held fixed at random waypoint). Nil
+// names selects every registered model, sorted. When the applied name is
+// the base spec's own model its tuned Params are kept (so a parameterized
+// base can be compared against other models); switching to a different
+// model resets Params to that model's defaults. The generic speed/pause
+// fields shape every model through its environment either way.
+func MobilityModelAxis(names []string) Axis {
+	if len(names) == 0 {
+		names = mobility.Registered()
+	}
+	return modelAxis("mobility_model", names, func(s *scenario.Spec, name string) {
+		if sameModelName(s.Mobility.Name, name, mobility.DefaultModel) {
+			s.Mobility.Name = name
+			return
+		}
+		s.Mobility = scenario.MobilitySpec{Name: name}
+	})
+}
+
+// TrafficModelAxis sweeps the traffic model by registry name. Nil names
+// selects every registered model, sorted. Like MobilityModelAxis, the base
+// spec's own model keeps its tuned Params.
+func TrafficModelAxis(names []string) Axis {
+	if len(names) == 0 {
+		names = traffic.Registered()
+	}
+	return modelAxis("traffic_model", names, func(s *scenario.Spec, name string) {
+		if sameModelName(s.Traffic.Name, name, traffic.DefaultModel) {
+			s.Traffic.Name = name
+			return
+		}
+		s.Traffic = scenario.TrafficSpec{Name: name}
+	})
+}
+
+// ModelAxisByName resolves the categorical model axes by CLI name
+// ("mobility", "traffic") with an explicit model-name list (nil selects the
+// whole registry), validating every name against the registry so a typo
+// fails at expansion time rather than mid-campaign. Duplicate names are
+// rejected: they would expand into cells with identical labels and
+// therefore identical replication seeds.
+func ModelAxisByName(name string, models []string) (Axis, error) {
+	checkModels := func(kind string, known func(string) bool, registered func() []string) error {
+		seen := make(map[string]bool, len(models))
+		for _, m := range models {
+			if !known(m) {
+				return fmt.Errorf("core: unknown %s model %q (registered: %s)",
+					kind, m, strings.Join(registered(), ", "))
+			}
+			canon := strings.ToLower(strings.TrimSpace(m))
+			if seen[canon] {
+				return fmt.Errorf("core: %s model %q listed twice", kind, canon)
+			}
+			seen[canon] = true
+		}
+		return nil
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "mobility", "mobility_model":
+		if err := checkModels("mobility", mobility.Known, mobility.Registered); err != nil {
+			return Axis{}, err
+		}
+		return MobilityModelAxis(models), nil
+	case "traffic", "traffic_model":
+		if err := checkModels("traffic", traffic.Known, traffic.Registered); err != nil {
+			return Axis{}, err
+		}
+		return TrafficModelAxis(models), nil
+	}
+	return Axis{}, fmt.Errorf("core: axis %q does not take model names (model axes: mobility, traffic)", name)
+}
+
+// axisConstructors maps CLI-friendly names to catalogue constructors. The
+// model axes take float indices here (the JSON/CLI string form goes
+// through ModelAxisByName); nil selects the full registry.
 var axisConstructors = map[string]func([]float64) Axis{
 	"pause":   PauseAxis,
 	"nodes":   NodesAxis,
@@ -204,6 +369,20 @@ var axisConstructors = map[string]func([]float64) Axis{
 	"csrange": CSRangeAxis,
 	"width":   AreaWidthAxis,
 	"payload": PayloadAxis,
+	"mobility": func(vs []float64) Axis {
+		a := MobilityModelAxis(nil)
+		if vs != nil {
+			a = a.WithValues(vs)
+		}
+		return a
+	},
+	"traffic": func(vs []float64) Axis {
+		a := TrafficModelAxis(nil)
+		if vs != nil {
+			a = a.WithValues(vs)
+		}
+		return a
+	},
 }
 
 // AxisNames lists the catalogue names understood by AxisByName, sorted.
@@ -235,6 +414,9 @@ type GridResult struct {
 	// Points is the cross product in row-major order (last axis fastest);
 	// Points[i][a] is the value of axis a at point i.
 	Points [][]float64
+	// PointLabels[i][a] is the formatted value of axis a at point i —
+	// model names for the categorical model axes, plain numbers otherwise.
+	PointLabels [][]string
 	// Protocols in presentation order.
 	Protocols []string
 	// Cells[protocol][i] is the merged result at Points[i].
@@ -340,11 +522,20 @@ func Grid(ctx context.Context, opts Options, axes ...Axis) (*GridResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	pointLabels := make([][]string, len(cross))
+	for i, pt := range cross {
+		row := make([]string, len(axes))
+		for a := range axes {
+			row[a] = axes[a].FormatValue(pt[a])
+		}
+		pointLabels[i] = row
+	}
 	out := &GridResult{
-		Labels:    labels,
-		Points:    cross,
-		Protocols: append([]string(nil), opts.Protocols...),
-		Cells:     make(map[string][]stats.Results, len(opts.Protocols)),
+		Labels:      labels,
+		Points:      cross,
+		PointLabels: pointLabels,
+		Protocols:   append([]string(nil), opts.Protocols...),
+		Cells:       make(map[string][]stats.Results, len(opts.Protocols)),
 	}
 	ri := 0
 	for _, p := range opts.Protocols {

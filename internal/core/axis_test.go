@@ -3,9 +3,12 @@ package core
 import (
 	"context"
 	"errors"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
+	"adhocsim/internal/geo"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 )
@@ -257,5 +260,170 @@ func TestScaleAxisHoldsDensity(t *testing.T) {
 	}
 	if _, err := AxisByName("scale", nil); err != nil {
 		t.Fatalf("scale axis not in catalogue: %v", err)
+	}
+}
+
+func TestModelAxes(t *testing.T) {
+	a := MobilityModelAxis([]string{"waypoint", "gauss-markov"})
+	if a.Label != "mobility_model" || len(a.Values) != 2 {
+		t.Fatalf("axis = %+v", a)
+	}
+	if a.FormatValue(1) != "gauss-markov" {
+		t.Fatalf("FormatValue(1) = %q", a.FormatValue(1))
+	}
+	s := scenario.Default()
+	a.Apply(&s, 1)
+	if s.Mobility.Name != "gauss-markov" {
+		t.Fatalf("Apply left mobility %+v", s.Mobility)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := TrafficModelAxis(nil) // full registry
+	if len(tr.Values) < 3 {
+		t.Fatalf("registry traffic axis too small: %+v", tr)
+	}
+	tr.Apply(&s, 0) // sorted registry: "cbr" first
+	if s.Traffic.Name != "cbr" {
+		t.Fatalf("traffic = %+v", s.Traffic)
+	}
+
+	if _, err := ModelAxisByName("mobility", []string{"teleport"}); err == nil {
+		t.Fatal("unknown mobility model accepted")
+	}
+	if _, err := ModelAxisByName("pause", []string{"waypoint"}); err == nil {
+		t.Fatal("non-model axis accepted model names")
+	}
+	// The catalogue route resolves the model axes by index.
+	axis, err := AxisByName("mobility", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axis.Label != "mobility_model" || len(axis.Values) == 0 {
+		t.Fatalf("catalogue mobility axis = %+v", axis)
+	}
+}
+
+// TestModelAxisSweepProducesDistinctCells runs a tiny real sweep across
+// mobility models and requires the per-model metric cells to differ — the
+// end-to-end guarantee that the axis actually reshapes the workload.
+func TestModelAxisSweepProducesDistinctCells(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base.Nodes = 12
+	opts.Base.Area = geo.Rect{W: 600, H: 300}
+	opts.Base.Duration = 20 * sim.Second
+	opts.Base.Sources = 3
+	opts.Protocols = []string{DSR}
+	opts.Seeds = []int64{1}
+	sweep, err := Sweep(context.Background(), opts,
+		MobilityModelAxis([]string{"waypoint", "gauss-markov", "manhattan"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := sweep.Cells[DSR]
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	distinct := false
+	for i := 1; i < len(cells); i++ {
+		if !reflect.DeepEqual(cells[i], cells[0]) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("every mobility model produced identical results (axis not applied?)")
+	}
+}
+
+// TestModelAxisRejectsBadIndices: the float-valued route into the model
+// axes (AxisByName / campaign "values") must reject out-of-range or
+// fractional indices at resolution time — a silent Apply no-op would run a
+// mislabeled default-model cell.
+func TestModelAxisRejectsBadIndices(t *testing.T) {
+	base := scenario.Default()
+	for _, vs := range [][]float64{{0, 99}, {-1}, {1.5}, {0, 0}} {
+		axis, err := AxisByName("mobility", vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := axis.Resolved(base); err == nil {
+			t.Fatalf("values %v accepted", vs)
+		}
+	}
+	axis, err := AxisByName("traffic", []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := axis.Resolved(base); err != nil {
+		t.Fatalf("valid indices rejected: %v", err)
+	}
+}
+
+// TestModelAxisRejectsDuplicateNames: duplicate model names would expand
+// into cells with identical labels and therefore identical replication
+// seeds.
+func TestModelAxisRejectsDuplicateNames(t *testing.T) {
+	if _, err := ModelAxisByName("mobility", []string{"waypoint", "Waypoint"}); err == nil {
+		t.Fatal("duplicate model names accepted")
+	}
+	if _, err := ModelAxisByName("traffic", []string{"cbr", "cbr"}); err == nil {
+		t.Fatal("duplicate traffic models accepted")
+	}
+}
+
+// TestModelAxisKeepsBaseParams: re-selecting the base spec's own model on
+// a model axis must keep its tuned Params; switching models resets them.
+func TestModelAxisKeepsBaseParams(t *testing.T) {
+	a := MobilityModelAxis([]string{"waypoint", "gauss-markov"})
+	s := scenario.Default()
+	s.Mobility = scenario.MobilitySpec{Name: "gauss-markov", Params: map[string]float64{"alpha": 0.95}}
+	a.Apply(&s, 1) // gauss-markov: the base's own model
+	if s.Mobility.Params["alpha"] != 0.95 {
+		t.Fatalf("base params dropped: %+v", s.Mobility)
+	}
+	a.Apply(&s, 0) // waypoint: a different model, params reset
+	if s.Mobility.Name != "waypoint" || s.Mobility.Params != nil {
+		t.Fatalf("switch did not reset params: %+v", s.Mobility)
+	}
+	// The empty base name aliases the default model.
+	s2 := scenario.Default()
+	s2.Mobility.Params = map[string]float64{"pause_s": 5}
+	a.Apply(&s2, 0) // waypoint == default
+	if s2.Mobility.Params["pause_s"] != 5 {
+		t.Fatalf("default-name params dropped: %+v", s2.Mobility)
+	}
+}
+
+// TestSweepTicksCarryModelNames: sweep results and their renders/JSON must
+// name the swept models, not the opaque indices.
+func TestSweepTicksCarryModelNames(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base.Nodes = 10
+	opts.Base.Area = geo.Rect{W: 500, H: 300}
+	opts.Base.Duration = 10 * sim.Second
+	opts.Base.Sources = 2
+	opts.Protocols = []string{DSR}
+	opts.Seeds = []int64{1}
+	sweep, err := Sweep(context.Background(), opts, MobilityModelAxis([]string{"waypoint", "gauss-markov"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.XTicks) != 2 || sweep.XTicks[1] != "gauss-markov" {
+		t.Fatalf("ticks = %v", sweep.XTicks)
+	}
+	fig := Figure{ID: "m", Title: "models", Metric: MetricPDR, Sweep: sweep}
+	if txt := RenderFigure(fig); !strings.Contains(txt, "gauss-markov") {
+		t.Fatalf("table render lost model names:\n%s", txt)
+	}
+	if csv := RenderFigureCSV(fig); !strings.Contains(csv, "gauss-markov,DSR,") {
+		t.Fatalf("csv render lost model names:\n%s", csv)
+	}
+	b, err := FigureJSON(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"x_ticks"`) || !strings.Contains(string(b), "gauss-markov") {
+		t.Fatalf("figure JSON lost model names:\n%s", b)
 	}
 }

@@ -113,8 +113,8 @@ func RenderFigure(f Figure) string {
 		fmt.Fprintf(&b, "%12s", p)
 	}
 	b.WriteByte('\n')
-	for xi, x := range f.Sweep.Xs {
-		fmt.Fprintf(&b, "%-10.4g", x)
+	for xi := range f.Sweep.Xs {
+		fmt.Fprintf(&b, "%-10s", f.Sweep.Tick(xi))
 		for _, p := range f.Sweep.Protocols {
 			fmt.Fprintf(&b, "%12.3f", f.Metric.Value(f.Sweep.Cells[p][xi]))
 		}
@@ -127,9 +127,9 @@ func RenderFigure(f Figure) string {
 func RenderFigureCSV(f Figure) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s,protocol,%s_%s\n", f.Sweep.XLabel, f.Metric.Name, f.Metric.Unit)
-	for xi, x := range f.Sweep.Xs {
+	for xi := range f.Sweep.Xs {
 		for _, p := range f.Sweep.Protocols {
-			fmt.Fprintf(&b, "%g,%s,%g\n", x, p, f.Metric.Value(f.Sweep.Cells[p][xi]))
+			fmt.Fprintf(&b, "%s,%s,%g\n", f.Sweep.Tick(xi), p, f.Metric.Value(f.Sweep.Cells[p][xi]))
 		}
 	}
 	return b.String()

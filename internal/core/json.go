@@ -30,12 +30,16 @@ func GridJSON(g *GridResult) ([]byte, error) {
 // its name and unit (Metric.Value is a function), and the per-protocol
 // series are pre-extracted so consumers need no metric logic.
 type figureJSON struct {
-	ID        string               `json:"id"`
-	Title     string               `json:"title"`
-	Metric    string               `json:"metric"`
-	Unit      string               `json:"unit"`
-	XLabel    string               `json:"x_label"`
-	Xs        []float64            `json:"xs"`
+	ID     string    `json:"id"`
+	Title  string    `json:"title"`
+	Metric string    `json:"metric"`
+	Unit   string    `json:"unit"`
+	XLabel string    `json:"x_label"`
+	Xs     []float64 `json:"xs"`
+	// XTicks carry the formatted x values when they differ from the plain
+	// numbers — for the categorical model axes these are the model names
+	// the indices in Xs stand for.
+	XTicks    []string             `json:"x_ticks,omitempty"`
 	Protocols []string             `json:"protocols"`
 	Series    map[string][]float64 `json:"series"`
 }
@@ -49,6 +53,7 @@ func FigureJSON(f Figure) ([]byte, error) {
 		Unit:      f.Metric.Unit,
 		XLabel:    f.Sweep.XLabel,
 		Xs:        f.Sweep.Xs,
+		XTicks:    f.Sweep.XTicks,
 		Protocols: f.Sweep.Protocols,
 		Series:    make(map[string][]float64, len(f.Sweep.Protocols)),
 	}

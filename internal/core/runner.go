@@ -16,6 +16,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -333,11 +334,25 @@ func firstError(ctx context.Context, errs []error) error {
 
 // SweepResult holds merged results for each protocol at each sweep point.
 type SweepResult struct {
-	XLabel    string
-	Xs        []float64
+	XLabel string
+	Xs     []float64
+	// XTicks are the formatted axis values parallel to Xs — for the
+	// categorical model axes these are the model names ("gauss-markov"),
+	// not the opaque indices in Xs. Renders and the JSON exports use them.
+	XTicks    []string
 	Protocols []string
 	// Cells[protocol][i] is the merged result at Xs[i].
 	Cells map[string][]stats.Results
+}
+
+// Tick returns the display form of the xi-th sweep point: the formatted
+// tick when present (a model name on categorical axes), else the plain
+// number. Hand-assembled SweepResults without XTicks keep working.
+func (sr *SweepResult) Tick(xi int) string {
+	if xi < len(sr.XTicks) {
+		return sr.XTicks[xi]
+	}
+	return strconv.FormatFloat(sr.Xs[xi], 'g', -1, 64)
 }
 
 // Sweep evaluates every protocol in opts at every value of the axis,
@@ -351,12 +366,15 @@ func Sweep(ctx context.Context, opts Options, axis Axis) (*SweepResult, error) {
 		return nil, err
 	}
 	xs := make([]float64, len(g.Points))
+	ticks := make([]string, len(g.Points))
 	for i, pt := range g.Points {
 		xs[i] = pt[0]
+		ticks[i] = g.PointLabels[i][0]
 	}
 	return &SweepResult{
 		XLabel:    g.Labels[0],
 		Xs:        xs,
+		XTicks:    ticks,
 		Protocols: g.Protocols,
 		Cells:     g.Cells,
 	}, nil

@@ -1,0 +1,142 @@
+package mobility
+
+import (
+	"fmt"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/modelreg"
+	"adhocsim/internal/sim"
+)
+
+// Env carries the scenario-level mobility parameters into a model builder:
+// the simulation area and the generic speed/pause knobs every spec exposes.
+// Model-specific parameters arrive separately as a name→value map, so a
+// model spec stays JSON-serializable end to end (scenario.MobilitySpec).
+type Env struct {
+	Area     geo.Rect
+	MinSpeed float64 // m/s
+	MaxSpeed float64 // m/s
+	Pause    sim.Duration
+}
+
+// Builder constructs a configured Model from the scenario environment and a
+// model-specific parameter map. Builders must be pure and must reject
+// unknown parameter names (use Params.Err) so misspelled keys fail loudly
+// instead of silently selecting defaults.
+type Builder func(env Env, params Params) (Model, error)
+
+// Params is the read-tracking parameter-map view handed to builders.
+type Params = modelreg.Params
+
+// NewParams wraps a raw parameter map (nil is fine).
+func NewParams(m map[string]float64) Params { return modelreg.NewParams(m) }
+
+// DefaultModel is the model an empty spec name selects: the study's random
+// waypoint.
+const DefaultModel = "waypoint"
+
+var registry = modelreg.New[Builder]("mobility", DefaultModel)
+
+// Register adds a mobility model under the given case-insensitive name,
+// making it available to scenario specs, the campaign engine and the cmd
+// tools. Registration is open: code outside this package can plug in new
+// models. Registering an empty name, a nil builder, or a taken name is an
+// error.
+func Register(name string, b Builder) error { return registry.Register(name, b) }
+
+// Registered returns every registered model name, sorted.
+func Registered() []string { return registry.Names() }
+
+// Known reports whether a model name resolves in the registry (the empty
+// name selects the default model and is always known).
+func Known(name string) bool { return registry.Known(name) }
+
+// New resolves a model name through the registry and builds it for the
+// given environment. An empty name selects DefaultModel. The built model
+// is eagerly validated with a zero-node dry run, so an out-of-range
+// parameter (gauss-markov alpha=1.5, manhattan turn_prob=2, …) fails at
+// Spec.Validate / campaign-submission time rather than mid-campaign —
+// which is why Model.Generate must tolerate n=0.
+func New(name string, env Env, params map[string]float64) (Model, error) {
+	b, key, err := registry.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	model, err := b(env, NewParams(params))
+	if err != nil {
+		return nil, fmt.Errorf("mobility: model %q: %w", key, err)
+	}
+	if _, err := model.Generate(0, 0, sim.NewRNG(0)); err != nil {
+		return nil, fmt.Errorf("mobility: model %q: %w", key, err)
+	}
+	return model, nil
+}
+
+// The built-in models self-register so that scenario specs, campaign axes
+// and external registrations all resolve through one mechanism.
+func init() {
+	registry.MustRegister(DefaultModel, func(env Env, p Params) (Model, error) {
+		m := RandomWaypoint{
+			Area:     env.Area,
+			MinSpeed: p.Get("min_speed_mps", env.MinSpeed),
+			MaxSpeed: p.Get("max_speed_mps", env.MaxSpeed),
+			Pause:    p.Duration("pause_s", env.Pause),
+		}
+		return m, p.Err()
+	})
+	registry.MustRegister("walk", func(env Env, p Params) (Model, error) {
+		m := RandomWalk{
+			Area:     env.Area,
+			MinSpeed: p.Get("min_speed_mps", env.MinSpeed),
+			MaxSpeed: p.Get("max_speed_mps", env.MaxSpeed),
+			Step:     p.Duration("step_s", 10*sim.Second),
+		}
+		return m, p.Err()
+	})
+	registry.MustRegister("gauss-markov", func(env Env, p Params) (Model, error) {
+		min := p.Get("min_speed_mps", env.MinSpeed)
+		max := p.Get("max_speed_mps", env.MaxSpeed)
+		m := GaussMarkov{
+			Area:       env.Area,
+			MinSpeed:   min,
+			MaxSpeed:   max,
+			MeanSpeed:  p.Get("mean_speed_mps", (min+max)/2),
+			Alpha:      p.Get("alpha", 0.75),
+			SigmaSpeed: p.Get("sigma_speed_mps", (max-min)/4),
+			SigmaDir:   p.Get("sigma_dir_rad", 0.4),
+			Tick:       p.Duration("tick_s", sim.Second),
+			Margin:     p.Get("margin_m", 0),
+		}
+		return m, p.Err()
+	})
+	registry.MustRegister("manhattan", func(env Env, p Params) (Model, error) {
+		m := Manhattan{
+			Area:     env.Area,
+			BlocksX:  int(p.Get("blocks_x", 0)),
+			BlocksY:  int(p.Get("blocks_y", 0)),
+			MinSpeed: p.Get("min_speed_mps", env.MinSpeed),
+			MaxSpeed: p.Get("max_speed_mps", env.MaxSpeed),
+			TurnProb: p.Get("turn_prob", 0.25),
+		}
+		return m, p.Err()
+	})
+	registry.MustRegister("rpgm", func(env Env, p Params) (Model, error) {
+		m := GroupMobility{
+			Area:     env.Area,
+			Groups:   int(p.Get("groups", 4)),
+			MinSpeed: p.Get("min_speed_mps", env.MinSpeed),
+			MaxSpeed: p.Get("max_speed_mps", env.MaxSpeed),
+			Pause:    p.Duration("pause_s", env.Pause),
+			Spread:   p.Get("spread_m", 100),
+			Resample: p.Duration("resample_s", 10*sim.Second),
+		}
+		return m, p.Err()
+	})
+	registry.MustRegister("static-grid", func(env Env, p Params) (Model, error) {
+		m := StaticGrid{
+			Area:   env.Area,
+			Jitter: p.Get("jitter_m", 25),
+		}
+		return m, p.Err()
+	})
+}

@@ -11,7 +11,9 @@ func cos(x float64) float64 { return math.Cos(x) }
 func sin(x float64) float64 { return math.Sin(x) }
 
 // Model generates movement tracks; RandomWaypoint, RandomWalk and StaticGrid
-// implement it.
+// implement it. Generate must validate the model's configuration and
+// tolerate n=0: the registry (New) issues a zero-node dry run to surface
+// configuration errors eagerly, before any simulation starts.
 type Model interface {
 	Generate(n int, horizon sim.Duration, rng *sim.RNG) ([]*Track, error)
 }

@@ -1,0 +1,160 @@
+// Package modelreg is the shared machinery behind the scenario model
+// registries (mobility, traffic): a case-insensitive named-builder table
+// with a default entry, and the read-tracking parameter-map view builders
+// consume. The model packages wrap one Registry instance each with their
+// kind-specific Builder signature, so registration semantics (name
+// canonicalization, duplicate/nil rejection, error wording) cannot drift
+// between them.
+package modelreg
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"adhocsim/internal/sim"
+)
+
+// Canonical normalizes a model name: lower-case, trimmed.
+func Canonical(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Registry is a named-builder table for one model kind. B is the kind's
+// builder function type.
+type Registry[B any] struct {
+	kind        string // "mobility" / "traffic": error-message prefix
+	defaultName string // resolved when a lookup name is empty
+
+	mu sync.RWMutex
+	m  map[string]B
+}
+
+// New creates a registry for the given kind whose empty-name lookups
+// resolve to defaultName.
+func New[B any](kind, defaultName string) *Registry[B] {
+	return &Registry[B]{kind: kind, defaultName: defaultName, m: make(map[string]B)}
+}
+
+// Register adds a builder under the given case-insensitive name.
+// Registering an empty name, a nil builder, or a taken name is an error.
+func (r *Registry[B]) Register(name string, b B) error {
+	key := Canonical(name)
+	if key == "" {
+		return fmt.Errorf("%s: empty model name", r.kind)
+	}
+	if rv := reflect.ValueOf(b); !rv.IsValid() || (rv.Kind() == reflect.Func && rv.IsNil()) {
+		return fmt.Errorf("%s: nil builder for model %q", r.kind, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[key]; dup {
+		return fmt.Errorf("%s: model %q already registered", r.kind, key)
+	}
+	r.m[key] = b
+	return nil
+}
+
+// MustRegister is Register for built-ins, where failure is a programming
+// error.
+func (r *Registry[B]) MustRegister(name string, b B) {
+	if err := r.Register(name, b); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns every registered model name, sorted.
+func (r *Registry[B]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for name := range r.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether a name resolves (the empty name selects the
+// default model).
+func (r *Registry[B]) Known(name string) bool {
+	key := Canonical(name)
+	if key == "" {
+		key = r.defaultName
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.m[key]
+	return ok
+}
+
+// Lookup resolves a name (empty selects the default model) to its builder
+// and canonical name.
+func (r *Registry[B]) Lookup(name string) (B, string, error) {
+	key := Canonical(name)
+	if key == "" {
+		key = r.defaultName
+	}
+	r.mu.RLock()
+	b, ok := r.m[key]
+	r.mu.RUnlock()
+	if !ok {
+		var zero B
+		return zero, key, fmt.Errorf("%s: unknown model %q (registered: %s)",
+			r.kind, name, strings.Join(r.Names(), ", "))
+	}
+	return b, key, nil
+}
+
+// Params wraps a model's parameter map, tracking which keys were read so a
+// builder can reject unknown (misspelled) parameters with Err.
+type Params struct {
+	m    map[string]float64
+	used map[string]bool
+}
+
+// NewParams wraps a raw parameter map (nil is fine).
+func NewParams(m map[string]float64) Params {
+	return Params{m: m, used: make(map[string]bool)}
+}
+
+// Get returns the parameter's value, or def when absent.
+func (p Params) Get(key string, def float64) float64 {
+	p.used[key] = true
+	if v, ok := p.m[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Duration returns a parameter expressed in seconds as a sim.Duration.
+func (p Params) Duration(key string, def sim.Duration) sim.Duration {
+	p.used[key] = true
+	if v, ok := p.m[key]; ok {
+		return sim.Seconds(v)
+	}
+	return def
+}
+
+// Err reports the first parameter key that no Get/Duration call consumed —
+// the guard against silently-ignored misspellings. Builders call it last.
+func (p Params) Err() error {
+	var unknown []string
+	for k := range p.m {
+		if !p.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	known := make([]string, 0, len(p.used))
+	for k := range p.used {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return fmt.Errorf("unknown parameter %q (known: %s)", unknown[0], strings.Join(known, ", "))
+}

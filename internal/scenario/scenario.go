@@ -1,7 +1,14 @@
 // Package scenario turns a declarative experiment specification into
-// concrete simulation inputs: mobility tracks (setdest), CBR connection
+// concrete simulation inputs: mobility tracks (setdest), traffic connection
 // lists (cbrgen) and radio parameters, all derived deterministically from a
 // seed.
+//
+// Mobility and traffic models are named, parameterized and
+// JSON-serializable (MobilitySpec/TrafficSpec) and resolve through the open
+// registries in the mobility and traffic packages, so campaigns and the
+// HTTP service can select and sweep scenario families without Go-side
+// hooks. Zero-valued specs select the study models (random waypoint, CBR)
+// and compile bit-identically to the pre-registry harness.
 package scenario
 
 import (
@@ -10,10 +17,25 @@ import (
 	"adhocsim/internal/geo"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/phy"
-	"adhocsim/internal/pkt"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/traffic"
 )
+
+// MobilitySpec names a registered mobility model with optional parameter
+// overrides. The zero value selects the study's random waypoint driven by
+// the Spec-level speed/pause fields. See mobility.Registered for the
+// built-in names and DESIGN.md for their parameters.
+type MobilitySpec struct {
+	Name   string             `json:"name,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// TrafficSpec names a registered traffic model with optional parameter
+// overrides. The zero value selects the study's CBR workload.
+type TrafficSpec struct {
+	Name   string             `json:"name,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
 
 // Spec describes one experiment configuration (before seeding).
 type Spec struct {
@@ -31,7 +53,7 @@ type Spec struct {
 	Pause    sim.Duration
 
 	// Traffic.
-	Sources      int     // number of CBR connections
+	Sources      int     // number of traffic connections
 	Rate         float64 // packets/s per connection (study: 4)
 	PayloadBytes int     // study: 64
 	// TrafficStart window: connection start times are uniform in
@@ -42,10 +64,13 @@ type Spec struct {
 	TxRange float64 // metres (study: 250); 0 selects the default params
 	CSRange float64 // metres; 0 selects 2.2 × TxRange
 
-	// Model, when non-nil, overrides the mobility model (e.g.
-	// mobility.GroupMobility for convoy scenarios); the speed/pause
-	// fields above are then ignored.
-	Model mobility.Model
+	// Mobility selects a registered mobility model by name with optional
+	// model-specific parameters; the zero value is the study's random
+	// waypoint shaped by the speed/pause fields above.
+	Mobility MobilitySpec
+	// Traffic selects a registered traffic model; the zero value is the
+	// study's CBR shaped by Rate/PayloadBytes.
+	Traffic TrafficSpec
 }
 
 // Default returns the reconstructed study configuration: 40 nodes,
@@ -68,8 +93,56 @@ func Default() Spec {
 	}
 }
 
-// Validate reports configuration errors.
+// MobilityModel resolves the spec's mobility model through the registry.
+func (s Spec) MobilityModel() (mobility.Model, error) {
+	env := mobility.Env{
+		Area:     s.Area,
+		MinSpeed: s.MinSpeed,
+		MaxSpeed: s.MaxSpeed,
+		Pause:    s.Pause,
+	}
+	return mobility.New(s.Mobility.Name, env, s.Mobility.Params)
+}
+
+// TrafficGenerator resolves the spec's traffic model through the registry.
+func (s Spec) TrafficGenerator() (traffic.Generator, error) {
+	return traffic.New(s.Traffic.Name, s.Traffic.Params)
+}
+
+// trafficEnv is the generator-facing view of the spec for one run.
+func (s Spec) trafficEnv(seed int64) traffic.Env {
+	return traffic.Env{
+		Nodes:        s.Nodes,
+		Sources:      s.Sources,
+		Rate:         s.Rate,
+		PayloadBytes: s.PayloadBytes,
+		StartMin:     s.StartMin,
+		StartMax:     s.StartMax,
+		Duration:     s.Duration,
+		Seed:         seed,
+	}
+}
+
+// Validate reports configuration errors, including mobility/traffic model
+// names that do not resolve in the registries and malformed model
+// parameters.
 func (s Spec) Validate() error {
+	if err := s.validateFields(); err != nil {
+		return err
+	}
+	if _, err := s.MobilityModel(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if _, err := s.TrafficGenerator(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// validateFields checks the plain scalar fields; Validate additionally
+// resolves the model specs, and Generate resolves them itself (once) so a
+// run does not build every model twice.
+func (s Spec) validateFields() error {
 	if s.Nodes < 2 {
 		return fmt.Errorf("scenario: need at least 2 nodes, got %d", s.Nodes)
 	}
@@ -85,14 +158,27 @@ func (s Spec) Validate() error {
 	if s.Sources > s.Nodes*(s.Nodes-1) {
 		return fmt.Errorf("scenario: %d sources exceed possible pairs", s.Sources)
 	}
-	if s.Rate <= 0 || s.PayloadBytes <= 0 {
-		return fmt.Errorf("scenario: bad traffic parameters")
+	if s.Rate <= 0 {
+		return fmt.Errorf("scenario: non-positive rate %v", s.Rate)
 	}
-	if s.MaxSpeed < 0 || s.MinSpeed < 0 || s.MaxSpeed < s.MinSpeed {
-		return fmt.Errorf("scenario: bad speed range [%v,%v]", s.MinSpeed, s.MaxSpeed)
+	if s.PayloadBytes <= 0 {
+		return fmt.Errorf("scenario: non-positive payload %d bytes", s.PayloadBytes)
+	}
+	if s.MaxSpeed < 0 || s.MinSpeed < 0 {
+		return fmt.Errorf("scenario: negative speed [%v,%v]", s.MinSpeed, s.MaxSpeed)
+	}
+	if s.MaxSpeed < s.MinSpeed {
+		return fmt.Errorf("scenario: MinSpeed %v exceeds MaxSpeed %v", s.MinSpeed, s.MaxSpeed)
+	}
+	if s.Pause < 0 {
+		return fmt.Errorf("scenario: negative pause %v", s.Pause)
+	}
+	if s.StartMin < 0 {
+		return fmt.Errorf("scenario: negative traffic start %v", s.StartMin)
 	}
 	if s.StartMax < s.StartMin {
-		return fmt.Errorf("scenario: bad start window")
+		return fmt.Errorf("scenario: traffic start window [%v,%v] ends before it begins",
+			s.StartMin, s.StartMax)
 	}
 	return nil
 }
@@ -106,28 +192,32 @@ type Instance struct {
 	Radio       phy.RadioParams
 }
 
-// Generate expands the spec deterministically from seed.
+// Generate expands the spec deterministically from seed: the mobility model
+// consumes the run's "mobility" substream, the traffic generator the
+// "traffic" substream (stochastic emission processes additionally derive
+// per-connection seeds via sim.DeriveSeed). Identical (spec, seed) pairs
+// yield identical instances across processes.
 func (s Spec) Generate(seed int64) (*Instance, error) {
-	if err := s.Validate(); err != nil {
+	// Resolving the models here doubles as their validation (Validate does
+	// the same resolution), so each run builds every model exactly once.
+	if err := s.validateFields(); err != nil {
 		return nil, err
+	}
+	model, err := s.MobilityModel()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	gen, err := s.TrafficGenerator()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	root := sim.NewRNG(seed)
 
-	model := s.Model
-	if model == nil {
-		model = mobility.RandomWaypoint{
-			Area:     s.Area,
-			MinSpeed: s.MinSpeed,
-			MaxSpeed: s.MaxSpeed,
-			Pause:    s.Pause,
-		}
-	}
 	tracks, err := model.Generate(s.Nodes, s.Duration, root.ForkNamed("mobility"))
 	if err != nil {
 		return nil, err
 	}
-
-	conns, err := s.generateConnections(root.ForkNamed("traffic"))
+	conns, err := gen.Connections(s.trafficEnv(seed), root.ForkNamed("traffic"))
 	if err != nil {
 		return nil, err
 	}
@@ -148,45 +238,4 @@ func (s Spec) Generate(seed int64) (*Instance, error) {
 		Connections: conns,
 		Radio:       radio,
 	}, nil
-}
-
-// generateConnections draws distinct (src,dst) pairs, like cbrgen: sources
-// are distinct nodes where possible, destinations uniform among the others.
-// The start window is clamped to the first half of the run so that short
-// scenarios still carry traffic.
-func (s Spec) generateConnections(rng *sim.RNG) ([]traffic.Connection, error) {
-	if max := s.Duration / 2; s.StartMax > max {
-		s.StartMax = max
-		if s.StartMin > s.StartMax {
-			s.StartMin = s.StartMax
-		}
-	}
-	used := make(map[[2]int32]bool)
-	var conns []traffic.Connection
-	attempts := 0
-	for len(conns) < s.Sources {
-		attempts++
-		if attempts > 100*s.Sources+1000 {
-			return nil, fmt.Errorf("scenario: could not draw %d distinct connections", s.Sources)
-		}
-		src := int32(rng.Intn(s.Nodes))
-		dst := int32(rng.Intn(s.Nodes))
-		if src == dst {
-			continue
-		}
-		key := [2]int32{src, dst}
-		if used[key] {
-			continue
-		}
-		used[key] = true
-		start := sim.Time(0).Add(rng.DurationUniform(s.StartMin, s.StartMax+1))
-		conns = append(conns, traffic.Connection{
-			Src:          pkt.NodeID(src),
-			Dst:          pkt.NodeID(dst),
-			Rate:         s.Rate,
-			PayloadBytes: s.PayloadBytes,
-			Start:        start,
-		})
-	}
-	return conns, nil
 }

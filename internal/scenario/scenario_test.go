@@ -1,12 +1,14 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 
 	"adhocsim/internal/geo"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/topo"
+	"adhocsim/internal/traffic"
 )
 
 func TestDefaultValidates(t *testing.T) {
@@ -28,9 +30,30 @@ func TestValidationCatchesBadSpecs(t *testing.T) {
 		mk(func(s *Spec) { s.Sources = 0 }),
 		mk(func(s *Spec) { s.Nodes = 3; s.Sources = 100 }),
 		mk(func(s *Spec) { s.Rate = 0 }),
+		mk(func(s *Spec) { s.Rate = -4 }),
 		mk(func(s *Spec) { s.PayloadBytes = 0 }),
 		mk(func(s *Spec) { s.MinSpeed = 30 }),
+		mk(func(s *Spec) { s.MaxSpeed = -1; s.MinSpeed = -2 }),
+		mk(func(s *Spec) { s.Pause = -sim.Second }),
 		mk(func(s *Spec) { s.StartMin = 2 * sim.Second; s.StartMax = sim.Second }),
+		mk(func(s *Spec) { s.StartMin = -sim.Second; s.StartMax = sim.Second }),
+		mk(func(s *Spec) { s.Mobility = MobilitySpec{Name: "teleport"} }),
+		mk(func(s *Spec) {
+			s.Mobility = MobilitySpec{Name: "gauss-markov", Params: map[string]float64{"alfa": 0.5}}
+		}),
+		// Out-of-range parameter values must fail eagerly at Validate, not
+		// mid-campaign at the first Generate.
+		mk(func(s *Spec) {
+			s.Mobility = MobilitySpec{Name: "gauss-markov", Params: map[string]float64{"alpha": 1.5}}
+		}),
+		mk(func(s *Spec) {
+			s.Mobility = MobilitySpec{Name: "manhattan", Params: map[string]float64{"turn_prob": 2}}
+		}),
+		mk(func(s *Spec) {
+			s.Mobility = MobilitySpec{Name: "waypoint", Params: map[string]float64{"min_speed_mps": 50}}
+		}),
+		mk(func(s *Spec) { s.Traffic = TrafficSpec{Name: "warp"} }),
+		mk(func(s *Spec) { s.Traffic = TrafficSpec{Name: "expoo", Params: map[string]float64{"on_s": -1}} }),
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -155,9 +178,8 @@ func TestModelOverride(t *testing.T) {
 	s := Default()
 	s.Nodes = 8
 	s.Duration = 30 * sim.Second
-	s.Model = mobility.GroupMobility{
-		Area: s.Area, Groups: 2, MinSpeed: 1, MaxSpeed: 5, Spread: 80,
-	}
+	s.MinSpeed, s.MaxSpeed = 1, 5
+	s.Mobility = MobilitySpec{Name: "rpgm", Params: map[string]float64{"groups": 2, "spread_m": 80}}
 	inst, err := s.Generate(1)
 	if err != nil {
 		t.Fatal(err)
@@ -169,5 +191,85 @@ func TestModelOverride(t *testing.T) {
 	d02 := inst.Tracks[0].At(sim.At(15)).Dist(inst.Tracks[2].At(sim.At(15)))
 	if d02 > 4*80 {
 		t.Fatalf("group members %f m apart", d02)
+	}
+}
+
+// TestNamedDefaultsMatchZeroValue: spelling out the default models must
+// compile to the identical instance as the zero-valued spec — the parity
+// bridge between the registry surface and the study configuration.
+func TestNamedDefaultsMatchZeroValue(t *testing.T) {
+	base := Default()
+	base.Duration = 60 * sim.Second
+	named := base
+	named.Mobility = MobilitySpec{Name: "waypoint"}
+	named.Traffic = TrafficSpec{Name: "cbr"}
+	a, err := base.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := named.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Connections, b.Connections) {
+		t.Fatal("named cbr produced different connections")
+	}
+	for i := range a.Tracks {
+		if !reflect.DeepEqual(a.Tracks[i].Segments(), b.Tracks[i].Segments()) {
+			t.Fatalf("named waypoint produced a different track %d", i)
+		}
+	}
+}
+
+// TestNewModelsGenerateDeterministically covers every mobility × traffic
+// model combination through the scenario layer: same seed ⇒ DeepEqual
+// tracks and connections (the registry analogue of TestGenerateDeterministic),
+// different seed ⇒ different mobility.
+func TestNewModelsGenerateDeterministically(t *testing.T) {
+	for _, mob := range mobility.Registered() {
+		for _, tra := range traffic.Registered() {
+			mob, tra := mob, tra
+			t.Run(mob+"/"+tra, func(t *testing.T) {
+				t.Parallel()
+				s := Default()
+				s.Nodes = 12
+				s.Sources = 4
+				s.Duration = 45 * sim.Second
+				s.Mobility = MobilitySpec{Name: mob}
+				s.Traffic = TrafficSpec{Name: tra}
+				a, err := s.Generate(21)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := s.Generate(21)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a.Connections, b.Connections) {
+					t.Fatal("same seed, different connections")
+				}
+				for i := range a.Tracks {
+					if !reflect.DeepEqual(a.Tracks[i].Segments(), b.Tracks[i].Segments()) {
+						t.Fatalf("same seed, different track %d", i)
+					}
+				}
+				if mob == "static-grid" {
+					return // placement ignores the seed by design (jitter only)
+				}
+				c, err := s.Generate(22)
+				if err != nil {
+					t.Fatal(err)
+				}
+				same := 0
+				for i := range a.Tracks {
+					if reflect.DeepEqual(a.Tracks[i].Segments(), c.Tracks[i].Segments()) {
+						same++
+					}
+				}
+				if same == len(a.Tracks) {
+					t.Fatal("different seeds produced identical mobility")
+				}
+			})
+		}
 	}
 }

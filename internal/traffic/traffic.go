@@ -1,7 +1,10 @@
-// Package traffic provides the constant-bit-rate UDP workload of the study
-// (ns-2 "cbrgen"): each connection sends fixed-size packets at a fixed rate
-// from a staggered start time, and the sink side performs duplicate
-// suppression and feeds the metrics collector.
+// Package traffic provides the UDP workload generators of the harness. The
+// study's workload is constant bit rate (ns-2 "cbrgen"): each connection
+// sends fixed-size packets at a fixed rate from a staggered start time.
+// Alternative emission processes — Poisson arrivals and exponential on/off
+// (VBR) bursts — resolve through an open registry (Register/New) so
+// campaigns can sweep the traffic model like any other axis. The sink side
+// performs duplicate suppression and feeds the metrics collector.
 package traffic
 
 import (
@@ -12,16 +15,36 @@ import (
 	"adhocsim/internal/sim"
 )
 
-// Connection is one CBR flow.
+// Packet emission process names; Connection.Process selects one.
+const (
+	ProcessCBR      = "cbr"
+	ProcessPoisson  = "poisson"
+	ProcessExpOnOff = "expoo"
+)
+
+// Connection is one traffic flow.
 type Connection struct {
 	Src, Dst pkt.NodeID
-	// Rate in packets per second.
+	// Rate in packets per second (for on/off processes: the peak rate
+	// while ON).
 	Rate float64
 	// PayloadBytes per packet (64 in the study).
 	PayloadBytes int
 	// Start is when the flow begins; Stop (0 = never) ends it.
 	Start sim.Time
 	Stop  sim.Time
+	// Process selects the packet emission process: "" or ProcessCBR emits
+	// at the fixed CBR interval, ProcessPoisson draws exponential
+	// inter-packet gaps with mean 1/Rate, ProcessExpOnOff alternates
+	// exponential ON bursts (emitting at Rate) with exponential OFF gaps.
+	Process string
+	// OnMean/OffMean are the mean ON/OFF period lengths in seconds of the
+	// expoo process.
+	OnMean, OffMean float64
+	// Seed drives the random draws of stochastic processes (unused by
+	// CBR). Generators derive it from the run seed via sim.DeriveSeed so
+	// emission schedules are reproducible across processes.
+	Seed int64
 }
 
 // Validate sanity-checks the connection against a node count.
@@ -41,6 +64,21 @@ func (c Connection) Validate(numNodes int) error {
 	if c.Stop != 0 && c.Stop <= c.Start {
 		return fmt.Errorf("traffic: connection %v->%v stops at %v, at or before its start %v",
 			c.Src, c.Dst, c.Stop, c.Start)
+	}
+	switch c.Process {
+	case "", ProcessCBR, ProcessPoisson:
+	case ProcessExpOnOff:
+		if c.OnMean <= 0 {
+			return fmt.Errorf("traffic: expoo connection %v->%v needs a positive OnMean, got %v",
+				c.Src, c.Dst, c.OnMean)
+		}
+		if c.OffMean < 0 {
+			return fmt.Errorf("traffic: expoo connection %v->%v has negative OffMean %v",
+				c.Src, c.Dst, c.OffMean)
+		}
+	default:
+		return fmt.Errorf("traffic: connection %v->%v has unknown process %q",
+			c.Src, c.Dst, c.Process)
 	}
 	return nil
 }
@@ -73,10 +111,26 @@ func Install(w *network.World, conns []Connection, horizon sim.Time) ([]*Source,
 	return sources, nil
 }
 
-// NewSource schedules a CBR generator for conn on its source node.
+// NewSource schedules conn's packet emission process on its source node.
 func NewSource(w *network.World, conn Connection, horizon sim.Time) *Source {
 	node := w.Node(conn.Src)
 	s := &Source{conn: conn, node: node}
+	switch conn.Process {
+	case ProcessPoisson:
+		s.startPoisson(w, horizon)
+	case ProcessExpOnOff:
+		s.startExpOnOff(w, horizon)
+	default: // "" / ProcessCBR
+		s.startCBR(w, horizon)
+	}
+	return s
+}
+
+// startCBR is the study's fixed-interval emission (unchanged from the
+// pre-registry source: same event pattern, bit-identical runs).
+func (s *Source) startCBR(w *network.World, horizon sim.Time) {
+	conn := s.conn
+	node := s.node
 	interval := sim.Seconds(1 / conn.Rate)
 	s.tick = sim.NewTicker(w.Eng, interval, func() {
 		now := w.Eng.Now()
@@ -103,7 +157,66 @@ func NewSource(w *network.World, conn Connection, horizon sim.Time) *Source {
 		node.Originate(p)
 		s.tick.Start()
 	})
-	return s
+}
+
+// ended reports whether the flow is past its stop time or the horizon.
+func (s *Source) ended(now, horizon sim.Time) bool {
+	return (s.conn.Stop != 0 && now.After(s.conn.Stop)) || now.After(horizon)
+}
+
+// emit originates one data packet at now.
+func (s *Source) emit(now sim.Time) {
+	p := pkt.DataPacket(s.conn.Src, s.conn.Dst, s.seq, s.conn.PayloadBytes, now)
+	s.seq++
+	s.node.Originate(p)
+}
+
+// startPoisson schedules memoryless emission: exponential inter-packet gaps
+// with mean 1/Rate, drawn from the connection's own seeded stream.
+func (s *Source) startPoisson(w *network.World, horizon sim.Time) {
+	rng := sim.NewRNG(s.conn.Seed)
+	mean := 1 / s.conn.Rate
+	var next func()
+	next = func() {
+		now := w.Eng.Now()
+		if s.ended(now, horizon) {
+			return
+		}
+		s.emit(now)
+		w.Eng.Schedule(now.Add(sim.Seconds(rng.Exp(mean))), next)
+	}
+	w.Eng.Schedule(s.conn.Start, next)
+}
+
+// startExpOnOff schedules the exponential on/off VBR process: bursts of
+// CBR-paced packets whose lengths are exponential with mean OnMean seconds,
+// separated by exponential OFF gaps with mean OffMean seconds.
+func (s *Source) startExpOnOff(w *network.World, horizon sim.Time) {
+	rng := sim.NewRNG(s.conn.Seed)
+	interval := sim.Seconds(1 / s.conn.Rate)
+	var burstEnd sim.Time
+	var emit func()
+	startBurst := func() {
+		now := w.Eng.Now()
+		if s.ended(now, horizon) {
+			return
+		}
+		burstEnd = now.Add(sim.Seconds(rng.Exp(s.conn.OnMean)))
+		emit()
+	}
+	emit = func() {
+		now := w.Eng.Now()
+		if s.ended(now, horizon) {
+			return
+		}
+		if now.After(burstEnd) {
+			w.Eng.Schedule(now.Add(sim.Seconds(rng.Exp(s.conn.OffMean))), startBurst)
+			return
+		}
+		s.emit(now)
+		w.Eng.Schedule(now.Add(interval), emit)
+	}
+	w.Eng.Schedule(s.conn.Start, startBurst)
 }
 
 // Sent reports how many packets this source has originated.

@@ -1,0 +1,95 @@
+package adhocsim_test
+
+import (
+	"testing"
+
+	"adhocsim"
+)
+
+// seedGolden pins the end-to-end results of the study configuration (40
+// nodes, 1500×300 m, seed 1) over a 150 s horizon, captured on the
+// pre-registry scenario layer (commit 4731a20). The scenario-model
+// refactor — registry-backed mobility/traffic specs replacing the
+// hard-wired random-waypoint/CBR path — must compile the default spec
+// bit-identically, so every counter and every float here must match
+// exactly. If a deliberate simulator change invalidates these numbers,
+// re-capture them with the old harness semantics in mind and say so in the
+// commit.
+var seedGolden = map[string]struct {
+	dataSent, dataDelivered uint64
+	routingTxPackets        uint64
+	macCtlFrames            uint64
+	pdr, avgDelay, avgHops  float64
+	drops                   map[string]uint64
+}{
+	"DSR": {
+		dataSent:         3927,
+		dataDelivered:    3795,
+		routingTxPackets: 4788,
+		macCtlFrames:     42063,
+		pdr:              0.9663865546218487,
+		avgDelay:         0.009146865496179183,
+		avgHops:          2.8086956521739133,
+		drops:            map[string]uint64{"salvage-failed": 132},
+	},
+	"AODV": {
+		dataSent:         3927,
+		dataDelivered:    3837,
+		routingTxPackets: 6344,
+		macCtlFrames:     36148,
+		pdr:              0.9770817417876242,
+		avgDelay:         0.05005789578707323,
+		avgHops:          2.799583007557988,
+		drops:            map[string]uint64{"mac-retries": 86, "no-route": 1},
+	},
+}
+
+// TestSeedParityDefaultStudyRuns is the parity guard for the scenario-model
+// refactor: the default study spec (zero-valued mobility/traffic model
+// specs → random waypoint + CBR) compiled through the registry path must
+// reproduce the pre-refactor runs bit-for-bit.
+func TestSeedParityDefaultStudyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 150 s study runs")
+	}
+	spec := adhocsim.DefaultSpec()
+	spec.Duration = 150 * adhocsim.Second
+	for proto, want := range seedGolden {
+		proto, want := proto, want
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			res, err := adhocsim.Run(adhocsim.RunConfig{Spec: spec, Protocol: proto, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DataSent != want.dataSent || res.DataDelivered != want.dataDelivered {
+				t.Errorf("data sent/delivered = %d/%d, want %d/%d",
+					res.DataSent, res.DataDelivered, want.dataSent, want.dataDelivered)
+			}
+			if res.RoutingTxPackets != want.routingTxPackets {
+				t.Errorf("routing tx = %d, want %d", res.RoutingTxPackets, want.routingTxPackets)
+			}
+			if res.MacCtlFrames != want.macCtlFrames {
+				t.Errorf("mac ctl frames = %d, want %d", res.MacCtlFrames, want.macCtlFrames)
+			}
+			if res.PDR != want.pdr {
+				t.Errorf("pdr = %v, want %v", res.PDR, want.pdr)
+			}
+			if res.AvgDelay != want.avgDelay {
+				t.Errorf("avg delay = %v, want %v", res.AvgDelay, want.avgDelay)
+			}
+			if res.AvgHops != want.avgHops {
+				t.Errorf("avg hops = %v, want %v", res.AvgHops, want.avgHops)
+			}
+			if len(res.Drops) != len(want.drops) {
+				t.Errorf("drops = %v, want %v", res.Drops, want.drops)
+			} else {
+				for reason, n := range want.drops {
+					if res.Drops[adhocsim.DropReason(reason)] != n {
+						t.Errorf("drops[%s] = %d, want %d", reason, res.Drops[adhocsim.DropReason(reason)], n)
+					}
+				}
+			}
+		})
+	}
+}
