@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke scenario-smoke
+.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke scenario-smoke radio-smoke
 
 ## verify: the tier-1 gate — formatting, vet, build, tests.
 verify: fmt vet build test
@@ -37,6 +37,12 @@ campaign-smoke:
 ## through the campaign engine (exercises the scenario model registries).
 scenario-smoke:
 	$(GO) run ./examples/model_matrix
+
+## radio-smoke: run a tiny protocol × radio model matrix under SINR
+## reception through the campaign engine (exercises the radio registry and
+## the cumulative-interference path).
+radio-smoke:
+	$(GO) run ./examples/radio_matrix
 
 ## bench: smoke-scale benchmarks (1 iteration each, shape check).
 bench:

@@ -48,15 +48,20 @@
 //	sweep, err := adhocsim.Sweep(ctx, opts, adhocsim.TxRangeAxis(nil))
 //	grid, err := adhocsim.Grid(ctx, opts, adhocsim.TxRangeAxis(nil), adhocsim.RateAxis(nil))
 //
-// Scenario families resolve through model registries: Spec.Mobility and
-// Spec.Traffic name registered mobility models (random waypoint,
-// Gauss-Markov, Manhattan grid, RPGM, random walk, static grid) and
-// traffic models (CBR, Poisson, exponential on/off VBR) with JSON-friendly
-// parameter maps, and RegisterMobilityModel / RegisterTrafficModel plug in
-// new ones. The model axes (MobilityModelAxis, TrafficModelAxis) sweep the
+// Scenario families resolve through model registries: Spec.Mobility,
+// Spec.Traffic and Spec.Radio name registered mobility models (random
+// waypoint, Gauss-Markov, Manhattan grid, RPGM, random walk, static grid),
+// traffic models (CBR, Poisson, exponential on/off VBR) and radio models
+// (two-ray ground, free space, tunable path-loss exponent, log-normal
+// shadowing, Ricean/Rayleigh fading) with JSON-friendly parameter maps,
+// and RegisterMobilityModel / RegisterTrafficModel / RegisterRadioModel
+// plug in new ones. Spec.Radio.SINR switches frame reception from the
+// ns-2 pairwise capture test to cumulative-interference SINR. The model
+// axes (MobilityModelAxis, TrafficModelAxis, RadioModelAxis) sweep the
 // family itself as a grid dimension:
 //
 //	spec.Mobility = adhocsim.MobilitySpec{Name: "gauss-markov", Params: map[string]float64{"alpha": 0.85}}
+//	spec.Radio = adhocsim.RadioSpec{Name: "shadowing", Params: map[string]float64{"sigma_db": 6}, SINR: true}
 //	grid, err := adhocsim.Grid(ctx, opts, adhocsim.MobilityModelAxis(nil), adhocsim.TrafficModelAxis(nil))
 //
 // Long experiments are cancellable and observable: every runner threads a
@@ -90,6 +95,7 @@ import (
 	"adhocsim/internal/network"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/pkt"
+	"adhocsim/internal/radio"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
@@ -136,6 +142,12 @@ type MobilitySpec = scenario.MobilitySpec
 // value is the study's CBR workload.
 type TrafficSpec = scenario.TrafficSpec
 
+// RadioSpec selects a registered radio/propagation model inside a Spec
+// ({"name": "shadowing", "params": {"sigma_db": 6}, "sinr": true}); the
+// zero value is the study's two-ray ground with pairwise capture. SINR
+// switches reception to the cumulative-interference model.
+type RadioSpec = scenario.RadioSpec
+
 // Scenario-model extension surface: the types an external mobility or
 // traffic model implements against, re-exported so registrations need no
 // internal imports.
@@ -161,6 +173,21 @@ type (
 	TrafficBuilder = traffic.Builder
 	// TrafficConnection is one generated flow (the generator's output unit).
 	TrafficConnection = traffic.Connection
+	// RadioEnv carries the spec-level range fields and the run seed into a
+	// radio model builder.
+	RadioEnv = radio.Env
+	// RadioModelParams is the parameter map view handed to radio builders.
+	RadioModelParams = radio.Params
+	// RadioBuilder constructs concrete radio parameters; see RegisterRadioModel.
+	RadioBuilder = radio.Builder
+	// Propagation computes received power as a function of distance.
+	Propagation = phy.Propagation
+	// LinkPropagation extends Propagation with per-link / per-reception
+	// power draws (shadowing, fading).
+	LinkPropagation = phy.LinkPropagation
+	// GainBounded declares a stochastic propagation model's upward power
+	// bound so the spatial index stays exact.
+	GainBounded = phy.GainBounded
 )
 
 // RegisterMobilityModel plugs a new mobility model into the registry under
@@ -172,11 +199,21 @@ func RegisterMobilityModel(name string, b MobilityBuilder) error { return mobili
 // RegisterTrafficModel plugs a new traffic model into the registry.
 func RegisterTrafficModel(name string, b TrafficBuilder) error { return traffic.Register(name, b) }
 
+// RegisterRadioModel plugs a new radio/propagation model into the registry
+// under the given case-insensitive name. Once registered it is selectable
+// everywhere a built-in is: Spec.Radio, campaign patches and axes, and the
+// cmd tools. Stochastic models must clamp their draws and implement
+// GainBounded so the spatial-index transmit path stays exact.
+func RegisterRadioModel(name string, b RadioBuilder) error { return radio.Register(name, b) }
+
 // RegisteredMobilityModels lists every mobility model name, sorted.
 func RegisteredMobilityModels() []string { return mobility.Registered() }
 
 // RegisteredTrafficModels lists every traffic model name, sorted.
 func RegisteredTrafficModels() []string { return traffic.Registered() }
+
+// RegisteredRadioModels lists every radio model name, sorted.
+func RegisteredRadioModels() []string { return radio.Registered() }
 
 // Rect is the simulation area type used in Spec.
 type Rect = geo.Rect
@@ -331,6 +368,7 @@ func PayloadAxis(vs []float64) Axis   { return core.PayloadAxis(vs) }
 // specs ({"name": "mobility", "models": [...]}).
 func MobilityModelAxis(names []string) Axis { return core.MobilityModelAxis(names) }
 func TrafficModelAxis(names []string) Axis  { return core.TrafficModelAxis(names) }
+func RadioModelAxis(names []string) Axis    { return core.RadioModelAxis(names) }
 func ModelAxisByName(name string, models []string) (Axis, error) {
 	return core.ModelAxisByName(name, models)
 }

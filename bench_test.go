@@ -360,3 +360,15 @@ func BenchmarkSingleRunLargeNGaussMarkov(b *testing.B) {
 	spec.Mobility = adhocsim.MobilitySpec{Name: "gauss-markov"}
 	runLargeN(b, spec, adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second})
 }
+
+// BenchmarkSingleRunLargeNSINR is the 200-node run with cumulative-
+// interference SINR reception on the spatial-index transmit path (no
+// brute-force fallback: the interference sum is floored at the
+// carrier-sense threshold, so the index's candidate set is exactly the
+// interferer set). The delta against BenchmarkSingleRunLargeN prices the
+// per-arrival interference accounting.
+func BenchmarkSingleRunLargeNSINR(b *testing.B) {
+	spec := largeNSpec()
+	spec.Radio.SINR = true
+	runLargeN(b, spec, adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second})
+}

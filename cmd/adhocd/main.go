@@ -83,14 +83,16 @@ func main() {
 
 // smokeSpec is the tiny campaign of the smoke test: 2 protocols × 2
 // replication seeds on a 10-node, 10-second scenario — 4 runs, a few
-// seconds of wall clock. It selects non-default scenario models so the
-// smoke also proves the registry path end to end over HTTP.
+// seconds of wall clock. It selects non-default scenario models — for the
+// radio, log-normal shadowing decoded under cumulative-interference SINR —
+// so the smoke proves all three registry paths end to end over HTTP.
 const smokeSpec = `{
   "name": "smoke",
   "base": {
     "nodes": 10, "area_w_m": 600, "duration_s": 10, "sources": 3,
     "mobility": {"name": "gauss-markov", "params": {"alpha": 0.8}},
-    "traffic": {"name": "expoo", "params": {"on_s": 0.5, "off_s": 0.5}}
+    "traffic": {"name": "expoo", "params": {"on_s": 0.5, "off_s": 0.5}},
+    "radio": {"name": "shadowing", "params": {"sigma_db": 3}, "sinr": true}
   },
   "protocols": ["DSR", "AODV"],
   "max_reps": 2

@@ -6,6 +6,7 @@
 //
 //	adhocsim -proto DSR -nodes 40 -pause 0 -speed 20 -sources 10 -dur 150 -seed 1
 //	adhocsim -proto AODV -mobility gauss-markov,alpha=0.85 -traffic expoo,on_s=0.5,off_s=1
+//	adhocsim -proto DSR -radio shadowing,sigma_db=6 -sinr
 //	adhocsim -campaign spec.json -checkpoint run.jsonl
 package main
 
@@ -116,6 +117,8 @@ func main() {
 		txRange   = flag.Float64("range", 250, "radio range (m)")
 		mobility  = flag.String("mobility", "", "mobility model, optionally with parameters (\"gauss-markov,alpha=0.85\"); models: "+strings.Join(adhocsim.RegisteredMobilityModels(), ", "))
 		traffic   = flag.String("traffic", "", "traffic model, optionally with parameters (\"expoo,on_s=0.5\"); models: "+strings.Join(adhocsim.RegisteredTrafficModels(), ", "))
+		radio     = flag.String("radio", "", "radio model, optionally with parameters (\"shadowing,sigma_db=6\"); models: "+strings.Join(adhocsim.RegisteredRadioModels(), ", "))
+		sinr      = flag.Bool("sinr", false, "cumulative-interference SINR reception instead of pairwise capture")
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		seeds     = flag.Int("seeds", 1, "number of replication seeds (averaged)")
 		verbose   = flag.Bool("v", false, "print drop census and overhead breakdown")
@@ -151,6 +154,8 @@ func main() {
 	spec.Mobility = adhocsim.MobilitySpec{Name: mobName, Params: mobParams}
 	traName, traParams := parseModelFlag("traffic", *traffic)
 	spec.Traffic = adhocsim.TrafficSpec{Name: traName, Params: traParams}
+	radName, radParams := parseModelFlag("radio", *radio)
+	spec.Radio = adhocsim.RadioSpec{Name: radName, Params: radParams, SINR: *sinr}
 
 	var seedList []int64
 	for i := 0; i < *seeds; i++ {
@@ -204,15 +209,20 @@ func main() {
 	fmt.Printf("protocol            %s\n", strings.ToUpper(*proto))
 	fmt.Printf("scenario            %d nodes, %.0fx%.0f m, pause %.0fs, speed %.0f m/s, %d srcs @ %.1f pkt/s, %.0fs\n",
 		*nodes, *areaW, *areaH, *pause, *speed, *sources, *rate, *dur)
-	if mobName != "" || traName != "" {
+	if mobName != "" || traName != "" || radName != "" || *sinr {
 		showModel := func(name, def string) string {
 			if name == "" {
 				return def + " (default)"
 			}
 			return name
 		}
-		fmt.Printf("models              mobility %s, traffic %s\n",
-			showModel(mobName, "waypoint"), showModel(traName, "cbr"))
+		reception := "capture"
+		if *sinr {
+			reception = "sinr"
+		}
+		fmt.Printf("models              mobility %s, traffic %s, radio %s (%s)\n",
+			showModel(mobName, "waypoint"), showModel(traName, "cbr"),
+			showModel(radName, "tworay"), reception)
 	}
 	fmt.Printf("data sent/received  %d / %d (+%d dup)\n", res.DataSent, res.DataDelivered, res.DupDelivered)
 	fmt.Printf("packet delivery     %.2f %%\n", res.PDR*100)

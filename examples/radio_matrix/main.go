@@ -1,0 +1,75 @@
+// Radio-matrix example and CI smoke (`make radio-smoke`): a tiny
+// protocol × radio-model campaign through the campaign engine, decoded
+// under cumulative-interference SINR reception. The study evaluated its
+// protocols on exactly one channel — two-ray ground with pairwise 10 dB
+// capture — although reception quality is the first thing a real
+// deployment changes under it; the radio registry makes the sweep a
+// one-line axis declaration.
+//
+//	go run ./examples/radio_matrix
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"adhocsim"
+)
+
+func main() {
+	spec := adhocsim.CampaignSpec{
+		Name: "radio-matrix",
+		Base: adhocsim.CampaignScenarioPatch{
+			Nodes:     intp(12),
+			AreaW:     f64p(700),
+			DurationS: f64p(20),
+			Sources:   intp(3),
+			// SINR reception for every cell: the axis sweeps the
+			// propagation model, the patch pins the reception model.
+			Radio: &adhocsim.RadioSpec{SINR: true},
+		},
+		Protocols: []string{adhocsim.DSR, adhocsim.AODV},
+		Axes: []adhocsim.CampaignAxis{
+			{Name: "radio", Models: []string{"tworay", "freespace", "shadowing"}},
+		},
+		MaxReps: 1,
+	}
+
+	res, err := adhocsim.RunCampaign(context.Background(), spec, adhocsim.CampaignOptions{
+		OnProgress: func(s adhocsim.CampaignSnapshot) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d runs]   ", s.RunsDone, s.MaxRuns)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("2 protocols × 3 radio models under SINR reception (12 nodes, 20 s):")
+	fmt.Printf("%-28s %8s %10s %8s\n", "cell", "PDR", "delay", "sent")
+	distinct := make(map[string]bool)
+	for _, cell := range res.Cells {
+		pdr := cell.Metrics["pdr"]
+		delay := cell.Metrics["delay"]
+		fmt.Printf("%-28s %7.1f%% %8.1fms %8d\n",
+			cell.Label, pdr.Mean, delay.Mean, cell.Merged.DataSent)
+		if cell.Merged.DataSent == 0 {
+			log.Fatalf("degenerate cell %q: no traffic", cell.Label)
+		}
+		distinct[fmt.Sprintf("%s|%.6f|%d", cell.Protocol, pdr.Mean, cell.Merged.DataDelivered)] = true
+	}
+	if want := 2 * 3; len(res.Cells) != want {
+		log.Fatalf("expected %d cells, got %d", want, len(res.Cells))
+	}
+	// The matrix must actually vary the channel: if every radio model
+	// produced the same metrics the registry would be decorative.
+	if len(distinct) < len(res.Cells)/2 {
+		log.Fatalf("radio cells suspiciously identical (%d distinct of %d)", len(distinct), len(res.Cells))
+	}
+	fmt.Println("\nradio-model smoke OK")
+}
+
+func intp(v int) *int         { return &v }
+func f64p(v float64) *float64 { return &v }

@@ -63,6 +63,11 @@ type ScenarioPatch struct {
 	// waypoint, CBR).
 	Mobility *scenario.MobilitySpec `json:"mobility,omitempty"`
 	Traffic  *scenario.TrafficSpec  `json:"traffic,omitempty"`
+	// Radio selects a registered radio/propagation model and the
+	// reception mode, e.g. {"name": "shadowing", "params":
+	// {"sigma_db": 6}, "sinr": true}. Absent keeps the study radio
+	// (two-ray ground, pairwise capture).
+	Radio *scenario.RadioSpec `json:"radio,omitempty"`
 }
 
 func (p ScenarioPatch) apply(s *scenario.Spec) {
@@ -110,6 +115,9 @@ func (p ScenarioPatch) apply(s *scenario.Spec) {
 	}
 	if p.Traffic != nil {
 		s.Traffic = *p.Traffic
+	}
+	if p.Radio != nil {
+		s.Radio = *p.Radio
 	}
 }
 

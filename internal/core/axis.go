@@ -10,6 +10,7 @@ import (
 
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/modelreg"
+	"adhocsim/internal/radio"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
@@ -318,12 +319,32 @@ func TrafficModelAxis(names []string) Axis {
 	})
 }
 
+// RadioModelAxis sweeps the radio/propagation model by registry name (the
+// channel-condition dimension the study held fixed at two-ray ground). Nil
+// names selects every registered model, sorted. Like the other model axes
+// the base spec's own model keeps its tuned Params; switching models
+// resets Params but preserves the base's SINR reception-mode switch —
+// propagation and reception model are orthogonal, so a SINR campaign can
+// sweep propagation without flipping reception back to pairwise capture.
+func RadioModelAxis(names []string) Axis {
+	if len(names) == 0 {
+		names = radio.Registered()
+	}
+	return modelAxis("radio_model", names, func(s *scenario.Spec, name string) {
+		if sameModelName(s.Radio.Name, name, radio.DefaultModel) {
+			s.Radio.Name = name
+			return
+		}
+		s.Radio = scenario.RadioSpec{Name: name, SINR: s.Radio.SINR}
+	})
+}
+
 // ModelAxisByName resolves the categorical model axes by CLI name
-// ("mobility", "traffic") with an explicit model-name list (nil selects the
-// whole registry), validating every name against the registry so a typo
-// fails at expansion time rather than mid-campaign. Duplicate names are
-// rejected: they would expand into cells with identical labels and
-// therefore identical replication seeds.
+// ("mobility", "traffic", "radio") with an explicit model-name list (nil
+// selects the whole registry), validating every name against the registry
+// so a typo fails at expansion time rather than mid-campaign. Duplicate
+// names are rejected: they would expand into cells with identical labels
+// and therefore identical replication seeds.
 func ModelAxisByName(name string, models []string) (Axis, error) {
 	checkModels := func(kind string, known func(string) bool, registered func() []string) error {
 		seen := make(map[string]bool, len(models))
@@ -351,8 +372,13 @@ func ModelAxisByName(name string, models []string) (Axis, error) {
 			return Axis{}, err
 		}
 		return TrafficModelAxis(models), nil
+	case "radio", "radio_model":
+		if err := checkModels("radio", radio.Known, radio.Registered); err != nil {
+			return Axis{}, err
+		}
+		return RadioModelAxis(models), nil
 	}
-	return Axis{}, fmt.Errorf("core: axis %q does not take model names (model axes: mobility, traffic)", name)
+	return Axis{}, fmt.Errorf("core: axis %q does not take model names (model axes: mobility, traffic, radio)", name)
 }
 
 // axisConstructors maps CLI-friendly names to catalogue constructors. The
@@ -378,6 +404,13 @@ var axisConstructors = map[string]func([]float64) Axis{
 	},
 	"traffic": func(vs []float64) Axis {
 		a := TrafficModelAxis(nil)
+		if vs != nil {
+			a = a.WithValues(vs)
+		}
+		return a
+	},
+	"radio": func(vs []float64) Axis {
+		a := RadioModelAxis(nil)
 		if vs != nil {
 			a = a.WithValues(vs)
 		}

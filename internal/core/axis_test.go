@@ -305,6 +305,92 @@ func TestModelAxes(t *testing.T) {
 	}
 }
 
+// TestRadioModelAxis: the radio axis applies registry names into
+// Spec.Radio, keeps the base spec's tuned params when re-selecting its own
+// model, and — unlike params — preserves the SINR reception switch across
+// model changes (propagation and reception are orthogonal dimensions).
+func TestRadioModelAxis(t *testing.T) {
+	a := RadioModelAxis([]string{"tworay", "shadowing"})
+	if a.Label != "radio_model" || a.FormatValue(1) != "shadowing" {
+		t.Fatalf("axis = %+v", a)
+	}
+	s := scenario.Default()
+	s.Radio.SINR = true
+	a.Apply(&s, 1)
+	if s.Radio.Name != "shadowing" || !s.Radio.SINR {
+		t.Fatalf("Apply left radio %+v", s.Radio)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-selecting the base's own model keeps its params.
+	s.Radio.Params = map[string]float64{"sigma_db": 7}
+	a.Apply(&s, 1)
+	if s.Radio.Params["sigma_db"] != 7 {
+		t.Fatalf("base params dropped: %+v", s.Radio)
+	}
+	// Switching models resets params but not the reception mode; the empty
+	// base name aliases tworay.
+	a.Apply(&s, 0)
+	if s.Radio.Name != "tworay" || s.Radio.Params != nil || !s.Radio.SINR {
+		t.Fatalf("switch mishandled radio %+v", s.Radio)
+	}
+	s2 := scenario.Default()
+	s2.Radio.Params = map[string]float64{"capture_ratio": 6}
+	a.Apply(&s2, 0)
+	if s2.Radio.Params["capture_ratio"] != 6 {
+		t.Fatalf("default-name params dropped: %+v", s2.Radio)
+	}
+
+	if _, err := ModelAxisByName("radio", []string{"warpdrive"}); err == nil {
+		t.Fatal("unknown radio model accepted")
+	}
+	if _, err := ModelAxisByName("radio", []string{"tworay", "TwoRay"}); err == nil {
+		t.Fatal("duplicate radio models accepted")
+	}
+	axis, err := AxisByName("radio", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axis.Label != "radio_model" || len(axis.Values) < 6 {
+		t.Fatalf("catalogue radio axis = %+v", axis)
+	}
+}
+
+// TestRadioModelSweepProducesDistinctCells: a real (tiny) sweep across
+// radio models must reshape the metrics — the end-to-end guarantee that
+// the channel condition actually reaches the PHY.
+func TestRadioModelSweepProducesDistinctCells(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base.Nodes = 12
+	opts.Base.Area = geo.Rect{W: 600, H: 300}
+	opts.Base.Duration = 20 * sim.Second
+	opts.Base.Sources = 3
+	opts.Protocols = []string{DSR}
+	opts.Seeds = []int64{1}
+	sweep, err := Sweep(context.Background(), opts,
+		RadioModelAxis([]string{"tworay", "freespace", "shadowing"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := sweep.Cells[DSR]
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if sweep.XTicks[2] != "shadowing" {
+		t.Fatalf("ticks = %v", sweep.XTicks)
+	}
+	distinct := false
+	for i := 1; i < len(cells); i++ {
+		if !reflect.DeepEqual(cells[i], cells[0]) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("every radio model produced identical results (axis not applied?)")
+	}
+}
+
 // TestModelAxisSweepProducesDistinctCells runs a tiny real sweep across
 // mobility models and requires the per-model metric cells to differ — the
 // end-to-end guarantee that the axis actually reshapes the workload.

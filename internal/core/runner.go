@@ -100,10 +100,17 @@ func Run(ctx context.Context, rc RunConfig) (stats.Results, error) {
 		return stats.Results{}, err
 	}
 	oracle := topo.NewOracle(inst.Tracks, inst.Radio.RxRange())
+	phyCfg := rc.Phy
+	if rc.Spec.Radio.SINR {
+		// The serializable reception-mode switch lives on the scenario
+		// spec (campaigns and the HTTP service patch it); the phy-level
+		// toggle stays available for direct callers.
+		phyCfg.SINR = true
+	}
 	world, err := network.NewWorld(network.Config{
 		Tracks:   inst.Tracks,
 		Radio:    inst.Radio,
-		Phy:      rc.Phy,
+		Phy:      phyCfg,
 		Mac:      rc.Mac,
 		Protocol: factory,
 		Seed:     rc.Seed ^ 0x5eed,

@@ -59,6 +59,13 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.Protocol == nil {
 		return nil, fmt.Errorf("network: nil protocol factory")
 	}
+	// Spec- and campaign-level validation runs earlier (scenario.Validate
+	// resolves the radio model eagerly); this guards direct callers that
+	// assemble RadioParams by hand, where the channel constructor used to
+	// panic on a capture ratio ≤ 1.
+	if err := cfg.Radio.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
 	w := &World{
 		Eng:       sim.NewEngine(),
 		Collector: stats.NewCollector(),

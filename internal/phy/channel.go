@@ -49,6 +49,14 @@ type Config struct {
 	// point, so the index is built once and never refreshed. Set by
 	// network.NewWorld when the fastest track segment has speed zero.
 	Static bool
+	// SINR replaces the pairwise ns-2 capture test with cumulative-
+	// interference reception: a frame decodes only if its power stays at
+	// least CaptureRatio times the sum of the noise floor and every other
+	// co-channel arrival's power for its whole duration. Off (the zero
+	// value) keeps the bit-identical legacy capture path. Pairwise capture
+	// misjudges dense multihop scenes where many individually-weak
+	// interferers are collectively fatal (Fu, Liew & Huang).
+	SINR bool
 }
 
 // Channel is the shared wireless medium. It connects all radios of a run and
@@ -61,10 +69,11 @@ type Config struct {
 // NodeID order, so results are bit-identical to the brute-force loop while
 // the per-transmission cost drops from O(N) to O(neighbourhood).
 type Channel struct {
-	eng    *sim.Engine
-	params RadioParams
-	cfg    Config
-	radios []*Radio // indexed by NodeID
+	eng      *sim.Engine
+	params   RadioParams
+	cfg      Config
+	radios   []*Radio        // indexed by NodeID
+	linkProp LinkPropagation // params.Prop when it is link/reception dependent, else nil
 
 	grid        *geo.FlatGrid
 	lastIndex   sim.Time // virtual time of the last reindex
@@ -75,6 +84,7 @@ type Channel struct {
 	scratch     []int32     // reusable candidate buffer
 	arrivalPool []*arrivalEvent
 	rxPool      []*receptionEvent
+	airPool     []*airEvent
 	Reindexes   uint64 // spatial-index rebuilds (diagnostics)
 
 	// Stats (aggregated across all radios).
@@ -91,12 +101,15 @@ func NewChannel(eng *sim.Engine, params RadioParams) *Channel {
 }
 
 // NewChannelWithConfig creates an empty medium with an explicit fast-path
-// configuration.
+// configuration. Parameters are assumed valid: every public entry point
+// (scenario resolution, campaign submission, network.NewWorld) surfaces
+// RadioParams.Validate errors before a channel is built, so the old
+// constructor-time capture-ratio panic is gone.
 func NewChannelWithConfig(eng *sim.Engine, params RadioParams, cfg Config) *Channel {
-	if params.CaptureRatio <= 1 {
-		panic("phy: capture ratio must exceed 1")
-	}
-	return &Channel{eng: eng, params: params, cfg: cfg}
+	c := &Channel{eng: eng, params: params, cfg: cfg}
+	// One type assertion up front, not one per transmission leg.
+	c.linkProp, _ = params.Prop.(LinkPropagation)
+	return c
 }
 
 // Params returns the channel's physical-layer constants.
@@ -126,6 +139,15 @@ func (c *Channel) NumRadios() int { return len(c.radios) }
 func (c *Channel) reindex(now sim.Time) {
 	if c.grid == nil {
 		c.csRange = c.params.CSRange()
+		if g := MaxGain(c.params.Prop); g > 1 {
+			// A stochastic model can land up to g× above nominal power,
+			// so a link can clear the CS threshold from beyond the
+			// nominal CS range. Widen to the distance where even a
+			// maximum-gain draw falls below the threshold; the clamp the
+			// models enforce is what keeps this bound finite and the
+			// distance-pruning index exact (see GainBounded).
+			c.csRange = c.params.rangeFor(c.params.CSThreshold / g)
+		}
 		slack := c.cfg.SpeedBound * c.cfg.ReindexInterval.Seconds()
 		if slack < 0 {
 			// A negative bound or interval must never shrink the query
@@ -222,11 +244,23 @@ func (c *Channel) allocArrival() *arrivalEvent {
 	return ae
 }
 
+// legPower computes the received power of one transmission leg: the
+// link/reception-dependent draw when the model declares one (shadowing,
+// fading — keyed by the current transmission's sequence number so grid and
+// brute-force candidate orders cannot diverge), else the plain distance
+// model.
+func (c *Channel) legPower(sender, o *Radio, d float64) float64 {
+	if c.linkProp != nil {
+		return c.linkProp.LinkRxPower(c.params.TxPower, d, sender.id, o.id, c.Transmissions)
+	}
+	return c.params.Prop.RxPower(c.params.TxPower, d)
+}
+
 // propagate delivers one transmission leg sender→o if the received power
 // clears the carrier-sense threshold.
 func (c *Channel) propagate(sender, o *Radio, from geo.Point, payload any, dur sim.Duration, now sim.Time) {
 	d := o.pos(now).Dist(from)
-	power := c.params.Prop.RxPower(c.params.TxPower, d)
+	power := c.legPower(sender, o, d)
 	if power < c.params.CSThreshold {
 		return
 	}
@@ -243,6 +277,8 @@ func (c *Channel) propagate(sender, o *Radio, from geo.Point, payload any, dur s
 
 // InRange reports whether b currently receives a's transmissions (power at
 // or above the reception threshold). Symmetric under the default models.
+// Stochastic models are judged at their nominal power — connectivity
+// oracles reason about the median link, not individual draws.
 func (c *Channel) InRange(a, b pkt.NodeID, at sim.Time) bool {
 	d := c.radios[a].pos(at).Dist(c.radios[b].pos(at))
 	return c.params.Prop.RxPower(c.params.TxPower, d) >= c.params.RxThreshold

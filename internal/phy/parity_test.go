@@ -55,9 +55,13 @@ func runScripted(t *testing.T, tracks []*mobility.Track, cfg Config, script []st
 }
 
 // TestGridBruteforceParity replays identical random transmission scripts
-// over random mobile scenarios with the spatial index on and off and
+// over random mobile scenarios with the spatial index on and off, in both
+// reception modes (pairwise capture and cumulative-interference SINR), and
 // requires identical delivery/collision/capture accounting — the
-// bit-determinism contract of the fast path.
+// bit-determinism contract of the fast path. The SINR rows double as the
+// acceptance test that cumulative interference needs no brute-force
+// fallback: the interference sum is floored at the carrier-sense
+// threshold, so grid and brute-force candidate sets agree.
 func TestGridBruteforceParity(t *testing.T) {
 	for _, tc := range []struct {
 		name  string
@@ -65,11 +69,15 @@ func TestGridBruteforceParity(t *testing.T) {
 		nodes int
 		area  geo.Rect
 		speed float64
+		sinr  bool
 	}{
-		{"dense-mobile", 1, 40, geo.Rect{W: 1500, H: 300}, 20},
-		{"sparse-mobile", 2, 60, geo.Rect{W: 4000, H: 4000}, 20},
-		{"fast-mobile", 3, 30, geo.Rect{W: 2000, H: 500}, 35},
-		{"static", 4, 50, geo.Rect{W: 1200, H: 1200}, 0},
+		{"dense-mobile", 1, 40, geo.Rect{W: 1500, H: 300}, 20, false},
+		{"sparse-mobile", 2, 60, geo.Rect{W: 4000, H: 4000}, 20, false},
+		{"fast-mobile", 3, 30, geo.Rect{W: 2000, H: 500}, 35, false},
+		{"static", 4, 50, geo.Rect{W: 1200, H: 1200}, 0, false},
+		{"dense-mobile-sinr", 1, 40, geo.Rect{W: 1500, H: 300}, 20, true},
+		{"fast-mobile-sinr", 3, 30, geo.Rect{W: 2000, H: 500}, 35, true},
+		{"static-sinr", 4, 50, geo.Rect{W: 1200, H: 1200}, 0, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			rng := sim.NewRNG(tc.seed)
@@ -93,8 +101,8 @@ func TestGridBruteforceParity(t *testing.T) {
 				script[i].dur = srng.DurationUniform(sim.Millisecond, 4*sim.Millisecond)
 			}
 			speedBound := mobility.MaxTrackSpeed(tracks)
-			grid, gridGot := runScripted(t, tracks, Config{ReindexInterval: sim.Second, SpeedBound: speedBound}, script)
-			brute, bruteGot := runScripted(t, tracks, Config{BruteForce: true}, script)
+			grid, gridGot := runScripted(t, tracks, Config{ReindexInterval: sim.Second, SpeedBound: speedBound, SINR: tc.sinr}, script)
+			brute, bruteGot := runScripted(t, tracks, Config{BruteForce: true, SINR: tc.sinr}, script)
 			if grid.Transmissions != brute.Transmissions ||
 				grid.Deliveries != brute.Deliveries ||
 				grid.Collisions != brute.Collisions ||

@@ -1,0 +1,253 @@
+// Package radio is the registry of named, serializable radio/propagation
+// models — the third scenario-model registry next to mobility and traffic.
+// A scenario selects a model by name with a JSON-friendly parameter map
+// (scenario.RadioSpec) and the builder resolves it to concrete
+// phy.RadioParams, so campaigns and the HTTP service can sweep channel
+// conditions the way they already sweep mobility and traffic families.
+//
+// Built-ins: "tworay" (the study's CMU two-ray ground default),
+// "freespace", "pathloss" (tunable exponent), "shadowing" (log-normal
+// per-link deviations), "ricean" and "rayleigh" (per-reception fading).
+// The stochastic models derive every draw from the run seed
+// (sim.DeriveSeed / sim.DeriveSeedValues), so runs stay bit-reproducible
+// across processes and under campaign checkpoint/resume, and they clamp
+// their deviations and declare the bound (phy.GainBounded) so the spatial
+// index's distance pruning stays exact.
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"adhocsim/internal/modelreg"
+	"adhocsim/internal/phy"
+)
+
+// Env carries the scenario-level radio parameters into a model builder:
+// the generic range knobs every spec exposes, and the run seed stochastic
+// models root their per-link/per-reception derivations in. Model-specific
+// parameters arrive separately as a name→value map, so a radio spec stays
+// JSON-serializable end to end (scenario.RadioSpec).
+type Env struct {
+	// TxRange is the nominal reception range in metres; 0 selects the
+	// study default (250 m).
+	TxRange float64
+	// CSRange is the carrier-sense range in metres; 0 selects 2.2×TxRange
+	// (550 m at the default).
+	CSRange float64
+	// Seed is the scenario's run seed — the root of shadowing/fading
+	// derivation. Validation dry-runs pass 0; the draws themselves are
+	// content-derived, so any seed exercises the same code paths.
+	Seed int64
+}
+
+// ranges resolves the env's range fields to concrete rx/cs ranges.
+func (e Env) ranges() (rx, cs float64, err error) {
+	if e.TxRange < 0 || e.CSRange < 0 {
+		return 0, 0, fmt.Errorf("negative range (tx %v m, cs %v m)", e.TxRange, e.CSRange)
+	}
+	rx = e.TxRange
+	if rx == 0 {
+		rx = 250
+	}
+	cs = e.CSRange
+	if cs == 0 {
+		cs = 2.2 * rx
+	}
+	if cs < rx {
+		return 0, 0, fmt.Errorf("carrier-sense range %v m below reception range %v m", cs, rx)
+	}
+	return rx, cs, nil
+}
+
+// Builder constructs concrete radio parameters from the scenario
+// environment and a model-specific parameter map. Builders must be pure
+// and must reject unknown parameter names (use Params.Err) so misspelled
+// keys fail loudly instead of silently selecting defaults.
+type Builder func(env Env, params Params) (phy.RadioParams, error)
+
+// Params is the read-tracking parameter-map view handed to builders.
+type Params = modelreg.Params
+
+// NewParams wraps a raw parameter map (nil is fine).
+func NewParams(m map[string]float64) Params { return modelreg.NewParams(m) }
+
+// DefaultModel is the model an empty spec name selects: the study's
+// two-ray ground reflection.
+const DefaultModel = "tworay"
+
+var registry = modelreg.New[Builder]("radio", DefaultModel)
+
+// Register adds a radio model under the given case-insensitive name,
+// making it available to scenario specs, the campaign engine and the cmd
+// tools. Registration is open: code outside this package can plug in new
+// models. Registering an empty name, a nil builder, or a taken name is an
+// error.
+func Register(name string, b Builder) error { return registry.Register(name, b) }
+
+// Registered returns every registered radio model name, sorted.
+func Registered() []string { return registry.Names() }
+
+// Known reports whether a model name resolves in the registry (the empty
+// name selects the default model and is always known).
+func Known(name string) bool { return registry.Known(name) }
+
+// New resolves a radio model name through the registry and builds it for
+// the given environment. An empty name selects DefaultModel. The built
+// parameters are eagerly validated (phy.RadioParams.Validate), so a
+// capture ratio at or below 1, inverted thresholds, or an out-of-range
+// model parameter fails at Spec.Validate / campaign-submission time
+// rather than mid-campaign — the registry analogue of the mobility
+// dry-run validation.
+func New(name string, env Env, params map[string]float64) (phy.RadioParams, error) {
+	b, key, err := registry.Lookup(name)
+	if err != nil {
+		return phy.RadioParams{}, err
+	}
+	p, err := b(env, NewParams(params))
+	if err != nil {
+		return phy.RadioParams{}, fmt.Errorf("radio: model %q: %w", key, err)
+	}
+	if err := p.Validate(); err != nil {
+		return phy.RadioParams{}, fmt.Errorf("radio: model %q: %w", key, err)
+	}
+	return p, nil
+}
+
+// studyTwoRay returns the CMU 914 MHz WaveLAN two-ray parameterisation
+// every built-in model anchors to — taken from phy.DefaultParams, not
+// re-declared, so the study constants cannot drift between packages.
+func studyTwoRay() phy.TwoRayGround {
+	return phy.DefaultParams().Prop.(phy.TwoRayGround)
+}
+
+// studyFreeSpace returns the free-space component of the study
+// parameterisation (unit gains, 914 MHz, no system loss).
+func studyFreeSpace() phy.FreeSpace {
+	tr := studyTwoRay()
+	return phy.FreeSpace{Gt: tr.Gt, Gr: tr.Gr, Lambda: tr.Lambda, L: tr.L}
+}
+
+// paramsFor derives thresholds for the given nominal model so that the
+// reception range is exactly rx metres and the carrier-sense range cs
+// metres — the same derivation idiom as phy.ParamsForRange, generalised
+// to any propagation model. Transmit power and capture ratio come from
+// the study defaults.
+func paramsFor(prop phy.Propagation, rx, cs float64) phy.RadioParams {
+	p := phy.DefaultParams()
+	p.Prop = prop
+	p.RxThreshold = prop.RxPower(p.TxPower, rx)
+	p.CSThreshold = prop.RxPower(p.TxPower, cs)
+	return p
+}
+
+// common applies the parameters every builder understands: the capture /
+// SINR power ratio and the noise floor.
+func common(p *phy.RadioParams, params Params) {
+	p.CaptureRatio = params.Get("capture_ratio", p.CaptureRatio)
+	if dbm := params.Get("noise_dbm", math.Inf(-1)); !math.IsInf(dbm, -1) {
+		p.NoiseW = math.Pow(10, (dbm-30)/10)
+	}
+}
+
+// pathLossFor builds the tunable-exponent nominal model shared by
+// "pathloss" and "shadowing".
+func pathLossFor(params Params, defExp float64) (phy.PathLossExp, error) {
+	exp := params.Get("exponent", defExp)
+	d0 := params.Get("ref_dist_m", 1)
+	if exp <= 0 {
+		return phy.PathLossExp{}, fmt.Errorf("exponent must be positive, got %v", exp)
+	}
+	if d0 <= 0 {
+		return phy.PathLossExp{}, fmt.Errorf("ref_dist_m must be positive, got %v", d0)
+	}
+	return phy.PathLossExp{FS: studyFreeSpace(), D0: d0, Exp: exp}, nil
+}
+
+// The built-in models self-register so that scenario specs, campaign axes
+// and external registrations all resolve through one mechanism.
+func init() {
+	// tworay reproduces the pre-registry scenario logic bit-for-bit: the
+	// zero-valued env yields exactly phy.DefaultParams, and explicit
+	// ranges go through phy.ParamsForRange — the golden seed-parity tests
+	// pin this.
+	registry.MustRegister(DefaultModel, func(env Env, p Params) (phy.RadioParams, error) {
+		if _, _, err := env.ranges(); err != nil {
+			return phy.RadioParams{}, err
+		}
+		params := phy.DefaultParams()
+		if env.TxRange > 0 && env.TxRange != 250 || env.CSRange > 0 {
+			cs := env.CSRange
+			if cs <= 0 {
+				cs = 2.2 * env.TxRange
+			}
+			params = phy.ParamsForRange(env.TxRange, cs)
+		}
+		common(&params, p)
+		return params, p.Err()
+	})
+	registry.MustRegister("freespace", func(env Env, p Params) (phy.RadioParams, error) {
+		rx, cs, err := env.ranges()
+		if err != nil {
+			return phy.RadioParams{}, err
+		}
+		params := paramsFor(studyFreeSpace(), rx, cs)
+		common(&params, p)
+		return params, p.Err()
+	})
+	registry.MustRegister("pathloss", func(env Env, p Params) (phy.RadioParams, error) {
+		rx, cs, err := env.ranges()
+		if err != nil {
+			return phy.RadioParams{}, err
+		}
+		prop, err := pathLossFor(p, 3)
+		if err != nil {
+			return phy.RadioParams{}, err
+		}
+		params := paramsFor(prop, rx, cs)
+		common(&params, p)
+		return params, p.Err()
+	})
+	registry.MustRegister("shadowing", func(env Env, p Params) (phy.RadioParams, error) {
+		rx, cs, err := env.ranges()
+		if err != nil {
+			return phy.RadioParams{}, err
+		}
+		base, err := pathLossFor(p, 2.8)
+		if err != nil {
+			return phy.RadioParams{}, err
+		}
+		sigma := p.Get("sigma_db", 4)
+		maxDev := p.Get("max_dev_db", 2*sigma)
+		if sigma < 0 {
+			return phy.RadioParams{}, fmt.Errorf("sigma_db must be non-negative, got %v", sigma)
+		}
+		if maxDev < 0 {
+			return phy.RadioParams{}, fmt.Errorf("max_dev_db must be non-negative, got %v", maxDev)
+		}
+		params := paramsFor(NewShadowing(base, sigma, maxDev, env.Seed), rx, cs)
+		common(&params, p)
+		return params, p.Err()
+	})
+	fading := func(defaultKdB float64, fixedRayleigh bool) Builder {
+		return func(env Env, p Params) (phy.RadioParams, error) {
+			rx, cs, err := env.ranges()
+			if err != nil {
+				return phy.RadioParams{}, err
+			}
+			k := 0.0
+			if !fixedRayleigh {
+				k = math.Pow(10, p.Get("k_db", defaultKdB)/10)
+			}
+			maxGainDB := p.Get("max_gain_db", 6)
+			if maxGainDB < 0 {
+				return phy.RadioParams{}, fmt.Errorf("max_gain_db must be non-negative, got %v", maxGainDB)
+			}
+			params := paramsFor(NewFading(studyTwoRay(), k, maxGainDB, env.Seed), rx, cs)
+			common(&params, p)
+			return params, p.Err()
+		}
+	}
+	registry.MustRegister("ricean", fading(6, false))
+	registry.MustRegister("rayleigh", fading(0, true))
+}

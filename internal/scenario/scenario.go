@@ -3,12 +3,13 @@
 // lists (cbrgen) and radio parameters, all derived deterministically from a
 // seed.
 //
-// Mobility and traffic models are named, parameterized and
-// JSON-serializable (MobilitySpec/TrafficSpec) and resolve through the open
-// registries in the mobility and traffic packages, so campaigns and the
-// HTTP service can select and sweep scenario families without Go-side
-// hooks. Zero-valued specs select the study models (random waypoint, CBR)
-// and compile bit-identically to the pre-registry harness.
+// Mobility, traffic and radio models are named, parameterized and
+// JSON-serializable (MobilitySpec/TrafficSpec/RadioSpec) and resolve
+// through the open registries in the mobility, traffic and radio packages,
+// so campaigns and the HTTP service can select and sweep scenario families
+// without Go-side hooks. Zero-valued specs select the study models (random
+// waypoint, CBR, two-ray ground with pairwise capture) and compile
+// bit-identically to the pre-registry harness.
 package scenario
 
 import (
@@ -17,6 +18,7 @@ import (
 	"adhocsim/internal/geo"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/radio"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/traffic"
 )
@@ -35,6 +37,21 @@ type MobilitySpec struct {
 type TrafficSpec struct {
 	Name   string             `json:"name,omitempty"`
 	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// RadioSpec names a registered radio/propagation model with optional
+// parameter overrides, plus the reception-model switch. The zero value
+// selects the study's two-ray ground at the Spec-level TxRange/CSRange
+// fields with pairwise ns-2 capture, and compiles bit-identically to the
+// pre-registry radio path.
+type RadioSpec struct {
+	Name   string             `json:"name,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+	// SINR switches reception from the pairwise capture test to
+	// cumulative-interference SINR (see phy.Config.SINR). It is
+	// orthogonal to the propagation model: any registered model runs in
+	// either mode.
+	SINR bool `json:"sinr,omitempty"`
 }
 
 // Spec describes one experiment configuration (before seeding).
@@ -71,6 +88,10 @@ type Spec struct {
 	// Traffic selects a registered traffic model; the zero value is the
 	// study's CBR shaped by Rate/PayloadBytes.
 	Traffic TrafficSpec
+	// Radio selects a registered radio/propagation model and the
+	// reception mode; the zero value is the study's two-ray ground with
+	// pairwise capture, shaped by the TxRange/CSRange fields above.
+	Radio RadioSpec
 }
 
 // Default returns the reconstructed study configuration: 40 nodes,
@@ -109,6 +130,15 @@ func (s Spec) TrafficGenerator() (traffic.Generator, error) {
 	return traffic.New(s.Traffic.Name, s.Traffic.Params)
 }
 
+// RadioModel resolves the spec's radio model through the registry for one
+// run. The seed matters only to the stochastic models (shadowing, fading),
+// which root their content-derived draws in it; Validate dry-runs with
+// seed 0.
+func (s Spec) RadioModel(seed int64) (phy.RadioParams, error) {
+	env := radio.Env{TxRange: s.TxRange, CSRange: s.CSRange, Seed: seed}
+	return radio.New(s.Radio.Name, env, s.Radio.Params)
+}
+
 // trafficEnv is the generator-facing view of the spec for one run.
 func (s Spec) trafficEnv(seed int64) traffic.Env {
 	return traffic.Env{
@@ -123,9 +153,11 @@ func (s Spec) trafficEnv(seed int64) traffic.Env {
 	}
 }
 
-// Validate reports configuration errors, including mobility/traffic model
-// names that do not resolve in the registries and malformed model
-// parameters.
+// Validate reports configuration errors, including mobility/traffic/radio
+// model names that do not resolve in the registries and malformed model
+// parameters. Radio parameters additionally pass phy.RadioParams.Validate,
+// so a capture ratio at or below 1 (formerly a channel-constructor panic)
+// surfaces here — at spec/campaign submission time.
 func (s Spec) Validate() error {
 	if err := s.validateFields(); err != nil {
 		return err
@@ -134,6 +166,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: %w", err)
 	}
 	if _, err := s.TrafficGenerator(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if _, err := s.RadioModel(0); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
 	return nil
@@ -222,13 +257,9 @@ func (s Spec) Generate(seed int64) (*Instance, error) {
 		return nil, err
 	}
 
-	radio := phy.DefaultParams()
-	if s.TxRange > 0 && s.TxRange != 250 || s.CSRange > 0 {
-		cs := s.CSRange
-		if cs <= 0 {
-			cs = 2.2 * s.TxRange
-		}
-		radio = phy.ParamsForRange(s.TxRange, cs)
+	params, err := s.RadioModel(seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 
 	return &Instance{
@@ -236,6 +267,6 @@ func (s Spec) Generate(seed int64) (*Instance, error) {
 		Seed:        seed,
 		Tracks:      tracks,
 		Connections: conns,
-		Radio:       radio,
+		Radio:       params,
 	}, nil
 }

@@ -6,6 +6,8 @@ import (
 
 	"adhocsim/internal/geo"
 	"adhocsim/internal/mobility"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/pkt"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/topo"
 	"adhocsim/internal/traffic"
@@ -54,6 +56,15 @@ func TestValidationCatchesBadSpecs(t *testing.T) {
 		}),
 		mk(func(s *Spec) { s.Traffic = TrafficSpec{Name: "warp"} }),
 		mk(func(s *Spec) { s.Traffic = TrafficSpec{Name: "expoo", Params: map[string]float64{"on_s": -1}} }),
+		mk(func(s *Spec) { s.Radio = RadioSpec{Name: "warpdrive"} }),
+		mk(func(s *Spec) { s.Radio = RadioSpec{Name: "shadowing", Params: map[string]float64{"sigma": 4}} }),
+		// The capture-ratio ≤ 1 condition that used to panic inside the
+		// channel constructor must now fail spec validation.
+		mk(func(s *Spec) { s.Radio = RadioSpec{Params: map[string]float64{"capture_ratio": 1}} }),
+		mk(func(s *Spec) { s.Radio = RadioSpec{Name: "pathloss", Params: map[string]float64{"exponent": -2}} }),
+		// A carrier-sense range below the reception range inverts the
+		// thresholds.
+		mk(func(s *Spec) { s.TxRange = 300; s.CSRange = 200 }),
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -218,6 +229,79 @@ func TestNamedDefaultsMatchZeroValue(t *testing.T) {
 		if !reflect.DeepEqual(a.Tracks[i].Segments(), b.Tracks[i].Segments()) {
 			t.Fatalf("named waypoint produced a different track %d", i)
 		}
+	}
+}
+
+// TestNamedRadioDefaultMatchesZeroValue: spelling out the default radio
+// model (and the explicit-range path) must compile to the identical
+// parameters as the zero-valued spec — the radio half of the registry
+// parity bridge.
+func TestNamedRadioDefaultMatchesZeroValue(t *testing.T) {
+	base := Default()
+	base.Duration = 30 * sim.Second
+	named := base
+	named.Radio = RadioSpec{Name: "tworay"}
+	a, err := base.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := named.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Radio, b.Radio) {
+		t.Fatalf("named tworay = %+v, zero value = %+v", b.Radio, a.Radio)
+	}
+	ranged := base
+	ranged.TxRange = 175
+	named.TxRange = 175
+	a, err = ranged.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = named.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Radio, b.Radio) {
+		t.Fatal("named tworay diverges from zero value at a custom range")
+	}
+}
+
+// TestRadioModelThreadsRunSeed: stochastic radio models must derive their
+// per-link field from the run seed — same seed, same powers; different
+// seed, different field — through the scenario layer end to end.
+func TestRadioModelThreadsRunSeed(t *testing.T) {
+	s := Default()
+	s.Duration = 30 * sim.Second
+	s.Radio = RadioSpec{Name: "shadowing"}
+	gen := func(seed int64) phy.LinkPropagation {
+		inst, err := s.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, ok := inst.Radio.Prop.(phy.LinkPropagation)
+		if !ok {
+			t.Fatal("shadowing lost its link propagation through Generate")
+		}
+		return lp
+	}
+	a, b, c := gen(5), gen(5), gen(6)
+	tx := phy.DefaultParams().TxPower
+	diff := 0
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			pa := a.LinkRxPower(tx, 200, pkt.NodeID(i), pkt.NodeID(j), 1)
+			if pa != b.LinkRxPower(tx, 200, pkt.NodeID(i), pkt.NodeID(j), 1) {
+				t.Fatalf("link %d-%d: same run seed, different shadowing", i, j)
+			}
+			if pa != c.LinkRxPower(tx, 200, pkt.NodeID(i), pkt.NodeID(j), 1) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("run seed does not shape the shadowing field")
 	}
 }
 

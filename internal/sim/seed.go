@@ -11,3 +11,30 @@ package sim
 func DeriveSeed(base int64, label string) int64 {
 	return mix(fnvLabel(label) ^ mix(base))
 }
+
+// DeriveSeedValues is the allocation-free sibling of DeriveSeed for
+// per-event derivation on hot paths: it folds integer components into the
+// base with the same splitmix finalizer instead of formatting a label.
+// Fading models key per-reception draws on (link, transmission sequence)
+// through it — roughly one derivation per frame leg, where a fmt.Sprintf
+// label would dominate the simulation. The accumulator is multiplied by
+// an odd prime before each fold so the base and the components occupy
+// different roles: DeriveSeedValues(a, b) and DeriveSeedValues(b, a)
+// are distinct streams. Like DeriveSeed, the mixing constants are part of
+// the cross-process determinism contract.
+func DeriveSeedValues(base int64, vals ...int64) int64 {
+	h := mix(base)
+	for _, v := range vals {
+		h = mix(h*1099511628211 ^ mix(v))
+	}
+	return h
+}
+
+// SeedUniform maps a derived seed to a uniform draw in (0, 1]: the top 53
+// bits of one further splitmix round, offset so the result is never 0 (a
+// log of it is always finite). It exists so stochastic radio models can
+// turn content-derived seeds into draws without constructing an RNG per
+// reception.
+func SeedUniform(seed int64) float64 {
+	return (float64(uint64(mix(seed))>>11) + 1) / (1 << 53)
+}

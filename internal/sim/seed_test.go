@@ -32,3 +32,51 @@ func TestDeriveSeedSeparation(t *testing.T) {
 		t.Fatal("base change did not change the seed")
 	}
 }
+
+func TestDeriveSeedValuesSeparation(t *testing.T) {
+	seen := make(map[int64][3]int64)
+	for a := int64(0); a < 8; a++ {
+		for b := int64(0); b < 8; b++ {
+			for c := int64(0); c < 8; c++ {
+				s := DeriveSeedValues(7, a, b, c)
+				if s != DeriveSeedValues(7, a, b, c) {
+					t.Fatal("same components diverged")
+				}
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("collision: %v and %v both map to %d", prev, [3]int64{a, b, c}, s)
+				}
+				seen[s] = [3]int64{a, b, c}
+			}
+		}
+	}
+	if DeriveSeedValues(1, 2, 3) == DeriveSeedValues(2, 2, 3) {
+		t.Fatal("base change did not change the seed")
+	}
+	// Component order matters: (a,b) and (b,a) are different streams.
+	if DeriveSeedValues(1, 2, 3) == DeriveSeedValues(1, 3, 2) {
+		t.Fatal("component order did not change the seed")
+	}
+	// The base is not interchangeable with the first component: a model
+	// keying streams as (id, peer, …) must not collide with (peer, id, …).
+	if DeriveSeedValues(1, 2, 3) == DeriveSeedValues(2, 1, 3) {
+		t.Fatal("base and first component are symmetric")
+	}
+	if DeriveSeedValues(1, 2) == DeriveSeedValues(2, 1) {
+		t.Fatal("base and sole component are symmetric")
+	}
+}
+
+func TestSeedUniformRange(t *testing.T) {
+	sum := 0.0
+	const n = 10_000
+	for i := int64(0); i < n; i++ {
+		u := SeedUniform(DeriveSeedValues(3, i))
+		if u <= 0 || u > 1 {
+			t.Fatalf("SeedUniform outside (0,1]: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Fatalf("SeedUniform mean %v, want ≈0.5", mean)
+	}
+}

@@ -1,20 +1,48 @@
 package adhocsim_test
 
 import (
+	"reflect"
 	"testing"
 
 	"adhocsim"
 )
+
+// TestZeroRadioSpecCompilesToNamedDefault: the zero-valued RadioSpec and
+// the explicitly-named default model must produce reflect.DeepEqual
+// end-to-end Results — the golden runs above then pin that shared path to
+// the pre-refactor capture bit-for-bit.
+func TestZeroRadioSpecCompilesToNamedDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 60 s study runs")
+	}
+	spec := adhocsim.DefaultSpec()
+	spec.Duration = 60 * adhocsim.Second
+	zero, err := adhocsim.Run(adhocsim.RunConfig{Spec: spec, Protocol: adhocsim.DSR, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Radio = adhocsim.RadioSpec{Name: "tworay"}
+	named, err := adhocsim.Run(adhocsim.RunConfig{Spec: spec, Protocol: adhocsim.DSR, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, named) {
+		t.Fatalf("named tworay diverges from the zero-valued RadioSpec:\nzero  %+v\nnamed %+v", zero, named)
+	}
+}
 
 // seedGolden pins the end-to-end results of the study configuration (40
 // nodes, 1500×300 m, seed 1) over a 150 s horizon, captured on the
 // pre-registry scenario layer (commit 4731a20). The scenario-model
 // refactor — registry-backed mobility/traffic specs replacing the
 // hard-wired random-waypoint/CBR path — must compile the default spec
-// bit-identically, so every counter and every float here must match
-// exactly. If a deliberate simulator change invalidates these numbers,
-// re-capture them with the old harness semantics in mind and say so in the
-// commit.
+// bit-identically, and the radio-model refactor (registry-backed
+// RadioSpec replacing the hard-wired two-ray parameter derivation, plus
+// the optional SINR reception path) must leave the zero-valued default —
+// two-ray ground, pairwise capture — untouched, so every counter and
+// every float here must match exactly. If a deliberate simulator change
+// invalidates these numbers, re-capture them with the old harness
+// semantics in mind and say so in the commit.
 var seedGolden = map[string]struct {
 	dataSent, dataDelivered uint64
 	routingTxPackets        uint64
