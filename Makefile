@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke scenario-smoke radio-smoke
+.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke dist-smoke scenario-smoke radio-smoke
 
 ## verify: the tier-1 gate — formatting, vet, build, tests.
 verify: fmt vet build test
@@ -32,6 +32,15 @@ race:
 ## adhocd HTTP API on a loopback port (submit → poll → results → delete).
 campaign-smoke:
 	$(GO) run ./cmd/adhocd -smoke
+
+## dist-smoke: distributed execution end to end — one coordinator plus two
+## adhocd -worker child processes over loopback, one worker SIGKILLed and
+## replaced mid-campaign. Asserts the distributed result is
+## reflect.DeepEqual to the single-process result, that resubmitting the
+## spec completes entirely from the content-addressed result cache, and
+## that the SSE progress stream stays monotone.
+dist-smoke:
+	$(GO) run ./cmd/adhocd -smoke-dist
 
 ## scenario-smoke: run a tiny protocol × mobility × traffic model matrix
 ## through the campaign engine (exercises the scenario model registries).

@@ -1,26 +1,41 @@
 // Command adhocd is the HTTP simulation service: it accepts replication
-// campaigns as JSON, executes them on a worker pool, and serves live
-// progress and aggregated results.
+// campaigns as JSON, executes them on local executors and/or a cluster of
+// worker processes, and serves live progress (polling and SSE) and
+// aggregated results.
 //
 // Usage:
 //
-//	adhocd -addr :8080 -journal-dir ./journals
+//	adhocd -addr :8080 -journal-dir ./journals -cache-dir ./cache
+//	adhocd -worker -join http://coordinator:8080
 //
-// API:
+// API (coordinator mode):
 //
 //	POST   /campaigns              submit a campaign spec (JSON)
 //	GET    /campaigns              list campaigns
 //	GET    /campaigns/{id}         live progress
+//	GET    /campaigns/{id}/events  server-sent-events progress stream
 //	GET    /campaigns/{id}/results aggregated results (409 while running)
-//	DELETE /campaigns/{id}         cancel
+//	DELETE /campaigns/{id}         cancel (workers are notified)
+//	POST   /dist/{lease,renew,release,commit} + GET /dist/...
+//	                               the worker protocol (see internal/dist)
 //
-// The -smoke flag runs a self-contained smoke test instead of serving: the
-// daemon binds a loopback port, submits a tiny two-protocol campaign to
-// itself over real HTTP, polls it to completion, prints the results, and
-// exits non-zero on any failure. CI runs this via `make campaign-smoke`.
+// SIGINT/SIGTERM drains gracefully: dispatch stops, in-flight runs finish
+// and are journaled, leases are released. A second signal forces exit.
+//
+// The -smoke flag runs a self-contained single-process smoke test; the
+// -smoke-dist flag runs a distributed one — one coordinator plus two
+// worker child processes over loopback, killing and replacing a worker
+// mid-campaign — and asserts the distributed result is reflect.DeepEqual
+// to the single-process result, that resubmitting the spec completes
+// entirely from the result cache, and that the SSE stream reports
+// monotonically increasing run counts. CI runs both via
+// `make campaign-smoke` and `make dist-smoke`.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,8 +43,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
+	"reflect"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"adhocsim"
@@ -37,23 +57,35 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+		addr       = flag.String("addr", ":8080", "listen address (coordinator mode)")
+		workers    = flag.Int("workers", 0, "local executor slots (0 = GOMAXPROCS; -1 = pure coordinator, remote workers only)")
 		journalDir = flag.String("journal-dir", "", "checkpoint journals directory (empty = no checkpointing)")
-		smoke      = flag.Bool("smoke", false, "run the loopback HTTP smoke test and exit")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (empty = in-memory cache)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "worker lease duration")
+		workerMode = flag.Bool("worker", false, "run as a worker process (requires -join)")
+		join       = flag.String("join", "", "coordinator URL to join in worker mode")
+		smoke      = flag.Bool("smoke", false, "run the single-process loopback smoke test and exit")
+		smokeDist  = flag.Bool("smoke-dist", false, "run the distributed smoke test (coordinator + 2 worker processes) and exit")
 	)
 	flag.Parse()
 
-	if *journalDir != "" {
-		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "adhocd:", err)
+	if *workerMode {
+		os.Exit(runWorkerMode(*join, *workers))
+	}
+	if *smokeDist {
+		if err := runSmokeDist(); err != nil {
+			fmt.Fprintln(os.Stderr, "adhocd: dist smoke:", err)
 			os.Exit(1)
 		}
+		fmt.Println("dist smoke OK")
+		return
 	}
-	srv := adhocsim.NewCampaignServer(adhocsim.CampaignServerOptions{
-		Workers:    *workers,
-		JournalDir: *journalDir,
-	})
+
+	srv, err := newServer(*workers, *journalDir, *cacheDir, *leaseTTL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhocd:", err)
+		os.Exit(1)
+	}
 
 	if *smoke {
 		if err := runSmoke(srv); err != nil {
@@ -65,23 +97,99 @@ func main() {
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
 		<-sig
-		fmt.Fprintln(os.Stderr, "adhocd: shutting down")
-		httpSrv.Close()
+		fmt.Fprintln(os.Stderr, "adhocd: draining — in-flight runs will checkpoint (signal again to force)")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		go func() {
+			select {
+			case <-sig:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "adhocd: forced shutdown:", err)
+		}
+		cancel()
+		httpSrv.Close() // closes the listener and any open SSE streams
 	}()
 	fmt.Fprintf(os.Stderr, "adhocd: listening on %s\n", *addr)
-	err := httpSrv.ListenAndServe()
-	srv.Close() // cancel and drain running campaigns
+	err = httpSrv.ListenAndServe()
 	if err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "adhocd:", err)
 		os.Exit(1)
 	}
 }
 
-// smokeSpec is the tiny campaign of the smoke test: 2 protocols × 2
+// newServer builds the coordinator from the command-line flags.
+func newServer(workers int, journalDir, cacheDir string, leaseTTL time.Duration) (*adhocsim.DistServer, error) {
+	if journalDir != "" {
+		if err := os.MkdirAll(journalDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var cache adhocsim.ResultStore
+	var err error
+	if cacheDir != "" {
+		cache, err = adhocsim.NewFSResultStore(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cache = adhocsim.NewMemResultStore()
+	}
+	return adhocsim.NewDistServer(adhocsim.DistServerOptions{
+		LocalWorkers: workers,
+		JournalDir:   journalDir,
+		Cache:        cache,
+		LeaseTTL:     leaseTTL,
+	}), nil
+}
+
+// runWorkerMode executes leased run units until the first SIGINT/SIGTERM
+// (graceful drain: in-flight runs finish and commit); a second signal
+// aborts in-flight runs immediately.
+func runWorkerMode(join string, slots int) int {
+	if join == "" {
+		fmt.Fprintln(os.Stderr, "adhocd: -worker requires -join <coordinator URL>")
+		return 2
+	}
+	if slots == 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	soft, softCancel := context.WithCancel(context.Background())
+	hard, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	defer softCancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "adhocd: worker draining — in-flight runs will commit (signal again to abort)")
+		softCancel()
+		<-sig
+		hardCancel()
+	}()
+	err := adhocsim.RunDistWorker(soft, adhocsim.DistWorkerOptions{
+		Coordinator: join,
+		Slots:       slots,
+		Hard:        hard,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "adhocd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhocd: worker:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "adhocd: worker exited cleanly")
+	return 0
+}
+
+// smokeSpec is the tiny campaign of the smoke tests: 2 protocols × 2
 // replication seeds on a 10-node, 10-second scenario — 4 runs, a few
 // seconds of wall clock. It selects non-default scenario models — for the
 // radio, log-normal shadowing decoded under cumulative-interference SINR —
@@ -98,62 +206,95 @@ const smokeSpec = `{
   "max_reps": 2
 }`
 
-// runSmoke exercises the full submit → poll → results → delete cycle over a
-// real loopback TCP listener.
-func runSmoke(srv *adhocsim.CampaignServer) error {
+// serveLoopback binds a loopback port and serves the handler on it.
+func serveLoopback(h http.Handler) (base string, stop func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return "", nil, err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	go httpSrv.Serve(ln)
-	defer httpSrv.Close()
-	defer srv.Close()
-	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "adhocd: smoke server on %s\n", base)
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
 
+type createdInfo struct {
+	ID      string `json:"id"`
+	MaxRuns int    `json:"max_runs"`
+}
+
+// submitCampaign POSTs the smoke spec.
+func submitCampaign(base string) (createdInfo, error) {
+	var created createdInfo
 	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(smokeSpec))
 	if err != nil {
-		return err
-	}
-	var created struct {
-		ID      string `json:"id"`
-		MaxRuns int    `json:"max_runs"`
+		return created, err
 	}
 	if err := decode(resp, http.StatusCreated, &created); err != nil {
-		return fmt.Errorf("submit: %w", err)
+		return created, fmt.Errorf("submit: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "adhocd: smoke campaign %s (%d runs max)\n", created.ID, created.MaxRuns)
+	return created, nil
+}
 
-	deadline := time.Now().Add(5 * time.Minute)
+// waitDone polls a campaign until it settles.
+func waitDone(base, id string, timeout time.Duration) (adhocsim.CampaignSnapshot, error) {
+	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := http.Get(base + "/campaigns/" + created.ID)
+		resp, err := http.Get(base + "/campaigns/" + id)
 		if err != nil {
-			return err
+			return adhocsim.CampaignSnapshot{}, err
 		}
 		var snap adhocsim.CampaignSnapshot
 		if err := decode(resp, http.StatusOK, &snap); err != nil {
-			return fmt.Errorf("progress: %w", err)
+			return snap, fmt.Errorf("progress: %w", err)
 		}
-		if snap.State == "done" {
-			break
-		}
-		if snap.State == "failed" || snap.State == "cancelled" {
-			return fmt.Errorf("campaign ended %s: %s", snap.State, snap.Err)
+		switch snap.State {
+		case "done":
+			return snap, nil
+		case "failed", "cancelled":
+			return snap, fmt.Errorf("campaign ended %s: %s", snap.State, snap.Err)
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("campaign stuck: %+v", snap)
+			return snap, fmt.Errorf("campaign stuck: %+v", snap)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
 
-	resp, err = http.Get(base + "/campaigns/" + created.ID + "/results")
+// fetchResults GETs the final aggregate.
+func fetchResults(base, id string) (adhocsim.CampaignResult, error) {
+	var result adhocsim.CampaignResult
+	resp, err := http.Get(base + "/campaigns/" + id + "/results")
+	if err != nil {
+		return result, err
+	}
+	if err := decode(resp, http.StatusOK, &result); err != nil {
+		return result, fmt.Errorf("results: %w", err)
+	}
+	return result, nil
+}
+
+// runSmoke exercises the full submit → poll → results → delete cycle over a
+// real loopback TCP listener, single process.
+func runSmoke(srv *adhocsim.DistServer) error {
+	base, stop, err := serveLoopback(srv.Handler())
 	if err != nil {
 		return err
 	}
-	var result adhocsim.CampaignResult
-	if err := decode(resp, http.StatusOK, &result); err != nil {
-		return fmt.Errorf("results: %w", err)
+	defer stop()
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "adhocd: smoke server on %s\n", base)
+
+	created, err := submitCampaign(base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "adhocd: smoke campaign %s (%d runs max)\n", created.ID, created.MaxRuns)
+	if _, err := waitDone(base, created.ID, 5*time.Minute); err != nil {
+		return err
+	}
+	result, err := fetchResults(base, created.ID)
+	if err != nil {
+		return err
 	}
 	if len(result.Cells) != 2 {
 		return fmt.Errorf("expected 2 cells, got %d", len(result.Cells))
@@ -168,7 +309,7 @@ func runSmoke(srv *adhocsim.CampaignServer) error {
 	}
 
 	req, _ := http.NewRequest(http.MethodDelete, base+"/campaigns/"+created.ID, nil)
-	resp, err = http.DefaultClient.Do(req)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -177,6 +318,251 @@ func runSmoke(srv *adhocsim.CampaignServer) error {
 		return fmt.Errorf("delete: %w", err)
 	}
 	return nil
+}
+
+// runSmokeDist is the distributed smoke test: a pure coordinator plus two
+// worker child processes over loopback, one of which is SIGKILLed
+// mid-campaign and replaced. Asserts the three distribution invariants:
+// the distributed aggregate is reflect.DeepEqual to the single-process
+// one, an identical resubmission on a fresh coordinator completes entirely
+// from the shared result cache, and the SSE progress stream reports
+// monotonically increasing committed-run counts through completion.
+func runSmokeDist() error {
+	tmp, err := os.MkdirTemp("", "adhocd-dist-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	cache, err := adhocsim.NewFSResultStore(filepath.Join(tmp, "cache"))
+	if err != nil {
+		return err
+	}
+
+	// Reference: the same spec, single process, no cache.
+	ref := adhocsim.NewDistServer(adhocsim.DistServerOptions{})
+	refBase, refStop, err := serveLoopback(ref.Handler())
+	if err != nil {
+		return err
+	}
+	refCreated, err := submitCampaign(refBase)
+	if err == nil {
+		_, err = waitDone(refBase, refCreated.ID, 5*time.Minute)
+	}
+	var refResult adhocsim.CampaignResult
+	if err == nil {
+		refResult, err = fetchResults(refBase, refCreated.ID)
+	}
+	ref.Close()
+	refStop()
+	if err != nil {
+		return fmt.Errorf("single-process reference: %w", err)
+	}
+
+	// Distributed: a coordinator with no local executors — every run must
+	// arrive from a worker process. Short leases so the killed worker's
+	// unit re-issues quickly.
+	coord := adhocsim.NewDistServer(adhocsim.DistServerOptions{
+		LocalWorkers: -1,
+		Cache:        cache,
+		LeaseTTL:     2 * time.Second,
+		ReapInterval: 200 * time.Millisecond,
+	})
+	base, stop, err := serveLoopback(coord.Handler())
+	if err != nil {
+		return err
+	}
+	defer stop()
+	defer coord.Close()
+	fmt.Fprintf(os.Stderr, "adhocd: dist smoke coordinator on %s\n", base)
+
+	w1, err := spawnWorker(base)
+	if err != nil {
+		return err
+	}
+	defer reapWorker(w1)
+	w2, err := spawnWorker(base)
+	if err != nil {
+		return err
+	}
+	defer reapWorker(w2)
+
+	created, err := submitCampaign(base)
+	if err != nil {
+		return err
+	}
+	watch := watchEvents(base, created.ID)
+
+	// Kill a worker as soon as the first run lands, then bring up a
+	// replacement: the campaign must still complete, identically.
+	select {
+	case <-watch.firstCommit:
+	case err := <-watch.done:
+		if err != nil {
+			return fmt.Errorf("SSE stream: %w", err)
+		}
+	case <-time.After(5 * time.Minute):
+		return fmt.Errorf("no run committed within 5 minutes")
+	}
+	fmt.Fprintln(os.Stderr, "adhocd: dist smoke: killing worker 1 mid-campaign")
+	w1.Process.Kill()
+	w3, err := spawnWorker(base)
+	if err != nil {
+		return err
+	}
+	defer reapWorker(w3)
+
+	select {
+	case err := <-watch.done:
+		if err != nil {
+			return fmt.Errorf("SSE stream: %w", err)
+		}
+	case <-time.After(5 * time.Minute):
+		return fmt.Errorf("distributed campaign did not finish within 5 minutes")
+	}
+	if _, err := waitDone(base, created.ID, time.Minute); err != nil {
+		return err
+	}
+	distResult, err := fetchResults(base, created.ID)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(refResult, distResult) {
+		return fmt.Errorf("distributed result differs from single-process result:\nsingle: %+v\ndist:   %+v", refResult, distResult)
+	}
+	fmt.Fprintln(os.Stderr, "adhocd: dist smoke: distributed result is DeepEqual to single-process")
+
+	// Resubmission on a fresh coordinator sharing only the cache directory:
+	// it has no local executors and no workers, so the only way it can
+	// finish is from cache — zero recomputed runs, at submission time.
+	coord2 := adhocsim.NewDistServer(adhocsim.DistServerOptions{LocalWorkers: -1, Cache: cache})
+	base2, stop2, err := serveLoopback(coord2.Handler())
+	if err != nil {
+		return err
+	}
+	defer stop2()
+	defer coord2.Close()
+	created2, err := submitCampaign(base2)
+	if err != nil {
+		return err
+	}
+	snap2, err := waitDone(base2, created2.ID, time.Minute)
+	if err != nil {
+		return fmt.Errorf("cached resubmission: %w", err)
+	}
+	if snap2.RunsFromCache != snap2.RunsDone || snap2.RunsDone != created2.MaxRuns {
+		return fmt.Errorf("cached resubmission recomputed runs: %d done, %d from cache, want all %d cached",
+			snap2.RunsDone, snap2.RunsFromCache, created2.MaxRuns)
+	}
+	cachedResult, err := fetchResults(base2, created2.ID)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(refResult, cachedResult) {
+		return fmt.Errorf("cache-served result differs from single-process result")
+	}
+	fmt.Fprintf(os.Stderr, "adhocd: dist smoke: resubmission served %d/%d runs from cache\n",
+		snap2.RunsFromCache, snap2.RunsDone)
+	return nil
+}
+
+// spawnWorker starts this binary again as a worker child process.
+func spawnWorker(base string) (*exec.Cmd, error) {
+	cmd := exec.Command(os.Args[0], "-worker", "-join", base, "-workers", "1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// reapWorker asks a worker child to drain (SIGTERM) and reaps it, forcing
+// after a timeout.
+func reapWorker(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		<-done
+	}
+}
+
+// eventWatch follows one campaign's SSE stream, asserting monotone
+// committed-run counts.
+type eventWatch struct {
+	firstCommit chan struct{}
+	done        chan error
+}
+
+func watchEvents(base, id string) *eventWatch {
+	ew := &eventWatch{firstCommit: make(chan struct{}), done: make(chan error, 1)}
+	go func() { ew.done <- ew.follow(base, id) }()
+	return ew
+}
+
+func (ew *eventWatch) follow(base, id string) error {
+	resp, err := http.Get(base + "/campaigns/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	last := -1
+	sawFirst := false
+	markFirst := func() {
+		if !sawFirst {
+			sawFirst = true
+			close(ew.firstCommit)
+		}
+	}
+	var data bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case line == "":
+			if data.Len() == 0 {
+				continue
+			}
+			var e adhocsim.DistEvent
+			if err := json.Unmarshal(data.Bytes(), &e); err != nil {
+				return fmt.Errorf("events: %w", err)
+			}
+			data.Reset()
+			if e.Snapshot != nil {
+				if e.Snapshot.RunsDone < last {
+					return fmt.Errorf("SSE runs_done went backwards: %d after %d", e.Snapshot.RunsDone, last)
+				}
+				last = e.Snapshot.RunsDone
+				if last > 0 {
+					markFirst()
+				}
+			}
+			switch e.Type {
+			case adhocsim.DistEventCampaignDone:
+				markFirst()
+				if e.State != "done" {
+					return fmt.Errorf("campaign ended %s: %s", e.State, e.Err)
+				}
+				fmt.Fprintf(os.Stderr, "adhocd: dist smoke: SSE saw %d committed runs, all monotone\n", last)
+				return nil
+			case adhocsim.DistEventCampaignCancelled:
+				markFirst()
+				return fmt.Errorf("campaign was cancelled")
+			}
+		}
+	}
+	return fmt.Errorf("SSE stream ended before campaign finished: %v", sc.Err())
 }
 
 // decode checks the status code and unmarshals the JSON body.

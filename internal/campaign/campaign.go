@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sync"
 
-	"adhocsim/internal/core"
 	"adhocsim/internal/stats"
 )
 
@@ -53,6 +52,7 @@ type Snapshot struct {
 	CellsStopped    int    `json:"cells_stopped"`
 	RunsDone        int    `json:"runs_done"`
 	RunsFromJournal int    `json:"runs_from_journal,omitempty"`
+	RunsFromCache   int    `json:"runs_from_cache,omitempty"`
 	MaxRuns         int    `json:"max_runs"`
 	Err             string `json:"error,omitempty"`
 }
@@ -119,6 +119,7 @@ type Campaign struct {
 	cursorCell      int
 	runsDone        int
 	runsFromJournal int
+	runsFromCache   int
 	err             error
 	result          *Result
 }
@@ -156,16 +157,32 @@ func New(spec Spec, opts Options) (*Campaign, error) {
 // Plan exposes the expanded plan (cells, seeds, hash).
 func (c *Campaign) Plan() *Plan { return c.plan }
 
-// Run executes the campaign to completion (or cancellation) and returns the
-// aggregate. It may be called once.
-func (c *Campaign) Run(ctx context.Context) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// SetJournalPath configures the checkpoint journal after construction (the
+// HTTP services derive the path from the plan hash, which only exists once
+// New has expanded the spec). It must be called before Start/Run.
+func (c *Campaign) SetJournalPath(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opts.JournalPath = path
+}
+
+// JournalPath reports the configured checkpoint journal ("" = none).
+func (c *Campaign) JournalPath() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts.JournalPath
+}
+
+// Start transitions the campaign to running: it opens the checkpoint journal
+// (if configured), replays its entries, and readies the dispatch cursor. It
+// is the first half of Run, exported so external schedulers — the
+// distributed coordinator in internal/dist — can drive execution unit by
+// unit through NextUnit/CompleteUnit/Finish instead of a local pool.
+func (c *Campaign) Start() error {
 	c.mu.Lock()
 	if c.state != StatePending {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("campaign: Run called twice")
+		return fmt.Errorf("campaign: started twice")
 	}
 	c.state = StateRunning
 	c.mu.Unlock()
@@ -173,7 +190,7 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	if c.opts.JournalPath != "" {
 		j, entries, err := openJournal(c.opts.JournalPath, c.plan)
 		if err != nil {
-			return nil, c.fail(err)
+			return c.fail(err)
 		}
 		c.mu.Lock()
 		c.journal = j
@@ -181,7 +198,20 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 			c.replayLocked(e)
 		}
 		c.mu.Unlock()
-		defer j.Close()
+	}
+	return nil
+}
+
+// Run executes the campaign to completion (or cancellation) and returns the
+// aggregate. It may be called once. It is the single-process composition of
+// the unit primitives: Start, a local pool over NextUnit → Plan.ExecuteUnit
+// → CompleteUnit, then Finish.
+func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := c.Start(); err != nil {
+		return nil, err
 	}
 
 	workers := c.opts.Workers
@@ -194,29 +224,46 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				ci, rep, ok := c.next()
+				ci, rep, ok := c.NextUnit()
 				if !ok {
 					return
 				}
-				cell := c.plan.Cells[ci]
-				res, err := core.Run(ctx, core.RunConfig{
-					Spec:     cell.spec,
-					Protocol: cell.Protocol,
-					Seed:     c.plan.SeedFor(ci, rep),
-				})
+				res, err := c.plan.ExecuteUnit(ctx, ci, rep)
 				if err != nil {
-					c.mu.Lock()
-					c.setErrLocked(err)
-					c.mu.Unlock()
+					c.Abort(err)
 					return
 				}
-				c.complete(ci, rep, res)
+				c.CompleteUnit(ci, rep, res, false)
 			}
 		}()
 	}
 	wg.Wait()
 
-	return c.settle(ctx)
+	return c.Finish(ctx)
+}
+
+// Finish settles the campaign after execution has drained: it evaluates the
+// terminal state, builds the final aggregate, and closes the journal. It is
+// idempotent — once the campaign is terminal, it returns the stored outcome.
+func (c *Campaign) Finish(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := c.settle(ctx)
+	c.CloseJournal()
+	return res, err
+}
+
+// CloseJournal flushes and closes the checkpoint journal without settling
+// the campaign. The graceful-shutdown path uses it to leave a suspended
+// campaign's journal as clean, resumable recovery state; Finish calls it on
+// the normal path.
+func (c *Campaign) CloseJournal() {
+	c.mu.Lock()
+	j := c.journal
+	c.journal = nil
+	c.mu.Unlock()
+	j.Close()
 }
 
 // fail records a pre-execution failure and returns it.
@@ -235,6 +282,13 @@ func (c *Campaign) fail(err error) error {
 func (c *Campaign) settle(ctx context.Context) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Already terminal (Finish called twice): return the stored outcome.
+	switch c.state {
+	case StateDone:
+		return c.result, nil
+	case StateFailed, StateCancelled:
+		return nil, c.err
+	}
 	// A campaign whose every cell has stopped is complete: a cancellation
 	// that only interrupted speculative (never-to-be-committed) runs, or
 	// that landed after the final commit, must not throw the aggregate
@@ -287,11 +341,18 @@ func (c *Campaign) settle(ctx context.Context) (*Result, error) {
 			Metrics:    metrics,
 		}
 	}
+	labels := c.plan.Labels
+	if len(labels) == 0 {
+		// nil, not []: axis_labels is omitempty, and a Result must survive a
+		// JSON roundtrip bit-identically — the distributed coordinator's
+		// DeepEqual guarantee covers the HTTP view too.
+		labels = nil
+	}
 	c.result = &Result{
 		Name:       c.plan.Spec.Name,
 		SpecHash:   c.plan.Hash,
 		Protocols:  c.plan.Protocols,
-		AxisLabels: c.plan.Labels,
+		AxisLabels: labels,
 		Points:     c.plan.Points,
 		Cells:      cells,
 	}
@@ -299,12 +360,15 @@ func (c *Campaign) settle(ctx context.Context) (*Result, error) {
 	return c.result, nil
 }
 
-// next hands out the next useful (cell, replication) pair. Dispatch is
+// NextUnit hands out the next useful (cell, replication) pair. Dispatch is
 // breadth-first (replication rounds across all cells) so early-stop
 // decisions are made before deep speculation, and forward-only: stopping
 // only removes work, so a single monotone cursor visits each pair at most
-// once. Workers exiting on !ok is correct because no new work ever appears.
-func (c *Campaign) next() (ci, rep int, ok bool) {
+// once. Workers exiting on !ok is correct because no new work ever appears
+// from the cursor — a distributed coordinator that must re-issue a unit
+// lost to a dead worker keeps its own re-issue queue and feeds the result
+// back through CompleteUnit.
+func (c *Campaign) NextUnit() (ci, rep int, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
@@ -327,17 +391,31 @@ func (c *Campaign) next() (ci, rep int, ok bool) {
 	return 0, 0, false
 }
 
-// complete records one executed run: journal it, then commit in replication
-// order.
-func (c *Campaign) complete(ci, rep int, res stats.Results) {
+// CompleteUnit records one executed run: journal it, then commit in
+// replication order. Duplicates (journal overlap, a re-issued lease whose
+// original worker turned out to be alive) are ignored — the first result
+// wins, and determinism makes every copy identical anyway. fromCache marks
+// results replayed from the content-addressed result cache; they are
+// counted separately in snapshots but journaled like live completions, so
+// a resumed campaign never depends on the cache still being populated.
+// Completions arriving after the campaign settled are dropped.
+func (c *Campaign) CompleteUnit(ci, rep int, res stats.Results, fromCache bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.state != StateRunning {
+		return
+	}
 	cs := &c.cells[ci]
 	if cs.results[rep] != nil {
-		return // duplicate (journal overlap); first result wins
+		return // duplicate; first result wins
 	}
+	// Remote and cache completions may bypass NextUnit entirely.
+	cs.issued[rep] = true
 	cs.results[rep] = &res
 	c.runsDone++
+	if fromCache {
+		c.runsFromCache++
+	}
 	if c.journal != nil {
 		if err := c.journal.append(journalEntry{
 			Cell:    ci,
@@ -408,6 +486,69 @@ func (c *Campaign) epsilonMetLocked(cs *cellState) bool {
 	return true
 }
 
+// UnitNeeded reports whether a (cell, replication) unit would still
+// contribute: the campaign is running, the cell has not stopped, and no
+// result for the unit has landed yet. The distributed coordinator consults
+// it before re-issuing an expired lease.
+func (c *Campaign) UnitNeeded(ci, rep int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateRunning || c.err != nil {
+		return false
+	}
+	cs := &c.cells[ci]
+	return !cs.stopped && cs.results[rep] == nil
+}
+
+// UnitResult returns the recorded result of a unit, if any — the "winning"
+// result a duplicate committer is told about.
+func (c *Campaign) UnitResult(ci, rep int) (stats.Results, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := &c.cells[ci]
+	if cs.results[rep] == nil {
+		return stats.Results{}, false
+	}
+	return *cs.results[rep], true
+}
+
+// CellStopped reports whether a cell's sequential stopping rule has fired
+// (or its replication cap was reached).
+func (c *Campaign) CellStopped(ci int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cells[ci].stopped
+}
+
+// AllStopped reports whether every cell has stopped — the moment a
+// coordinator should Finish the campaign.
+func (c *Campaign) AllStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.cells {
+		if !c.cells[i].stopped {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns the first fatal error recorded so far (nil while healthy).
+func (c *Campaign) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Abort records a fatal execution error; dispatch stops handing out units
+// and Finish will report the failure. Cancellation errors lose to real
+// failures recorded earlier or later.
+func (c *Campaign) Abort(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setErrLocked(err)
+}
+
 func (c *Campaign) setErrLocked(err error) {
 	if err == nil {
 		return
@@ -448,6 +589,7 @@ func (c *Campaign) snapshotLocked() Snapshot {
 		CellsStopped:    stopped,
 		RunsDone:        c.runsDone,
 		RunsFromJournal: c.runsFromJournal,
+		RunsFromCache:   c.runsFromCache,
 		MaxRuns:         c.plan.MaxRuns(),
 	}
 	if c.err != nil {

@@ -187,6 +187,9 @@ func stoppingCampaign(t *testing.T, minReps, maxReps int, eps float64) *Campaign
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
 	return c
 }
 
@@ -196,7 +199,7 @@ func TestSequentialStopping(t *testing.T) {
 	pdrs := []float64{0.80, 0.802, 0.801, 0.777, 0.9}
 	c := stoppingCampaign(t, 2, 5, 0.3)
 	for rep, p := range pdrs {
-		c.complete(0, rep, stats.Results{PDR: p})
+		c.CompleteUnit(0, rep, stats.Results{PDR: p}, false)
 	}
 	cs := &c.cells[0]
 	if cs.committed != 3 || !cs.stopped || cs.stopReason != StopCI {
@@ -213,11 +216,11 @@ func TestSequentialStoppingOrderIndependent(t *testing.T) {
 	pdrs := []float64{0.80, 0.802, 0.801, 0.777, 0.9}
 	inOrder := stoppingCampaign(t, 2, 5, 0.3)
 	for rep, p := range pdrs {
-		inOrder.complete(0, rep, stats.Results{PDR: p})
+		inOrder.CompleteUnit(0, rep, stats.Results{PDR: p}, false)
 	}
 	shuffled := stoppingCampaign(t, 2, 5, 0.3)
 	for _, rep := range []int{4, 2, 0, 3, 1} {
-		shuffled.complete(0, rep, stats.Results{PDR: pdrs[rep]})
+		shuffled.CompleteUnit(0, rep, stats.Results{PDR: pdrs[rep]}, false)
 	}
 	a, b := &inOrder.cells[0], &shuffled.cells[0]
 	if a.committed != b.committed || a.stopReason != b.stopReason {
@@ -233,12 +236,12 @@ func TestStoppingNeedsMinReps(t *testing.T) {
 	// A single tight value would satisfy any epsilon, but MinReps floors
 	// the sample size.
 	c := stoppingCampaign(t, 3, 4, 1e9)
-	c.complete(0, 0, stats.Results{PDR: 0.5})
-	c.complete(0, 1, stats.Results{PDR: 0.5})
+	c.CompleteUnit(0, 0, stats.Results{PDR: 0.5}, false)
+	c.CompleteUnit(0, 1, stats.Results{PDR: 0.5}, false)
 	if c.cells[0].stopped {
 		t.Fatal("stopped before MinReps")
 	}
-	c.complete(0, 2, stats.Results{PDR: 0.5})
+	c.CompleteUnit(0, 2, stats.Results{PDR: 0.5}, false)
 	cs := &c.cells[0]
 	if !cs.stopped || cs.stopReason != StopCI || cs.committed != 3 {
 		t.Fatalf("state = %+v", cs)

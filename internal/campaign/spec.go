@@ -16,6 +16,7 @@
 package campaign
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -26,6 +27,7 @@ import (
 	"adhocsim/internal/core"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
 )
 
 // AxisSpec names a catalogue axis ("pause", "nodes", "txrange", …; see
@@ -184,6 +186,41 @@ func (p *Plan) MaxRuns() int { return len(p.Cells) * p.Spec.MaxReps }
 // SeedFor derives the deterministic seed of one (cell, replication) run.
 func (p *Plan) SeedFor(cell, rep int) int64 {
 	return sim.DeriveSeed(p.Spec.BaseSeed, p.Cells[cell].Label+"|rep="+strconv.Itoa(rep))
+}
+
+// ExecuteUnit runs one (cell, replication) unit of the plan. It is a pure
+// function of the plan and the indices — no campaign state — which is what
+// makes a unit executable by any process that expanded the same spec: the
+// distributed worker loop calls it on its own copy of the plan.
+func (p *Plan) ExecuteUnit(ctx context.Context, cell, rep int) (stats.Results, error) {
+	c := p.Cells[cell]
+	return core.Run(ctx, core.RunConfig{
+		Spec:     c.spec,
+		Protocol: c.Protocol,
+		Seed:     p.SeedFor(cell, rep),
+	})
+}
+
+// UnitKey is the content address of one run unit: a digest of everything
+// that determines its result — the cell's fully-resolved scenario, the
+// protocol, and the derived seed. Two campaigns whose grids overlap (same
+// base scenario, same base seed) produce identical keys for the shared
+// units, so a content-addressed result cache serves across campaign
+// boundaries, not just on exact resubmission. (encoding/json sorts map
+// keys, so the digest is canonical.)
+func (p *Plan) UnitKey(cell, rep int) string {
+	payload := struct {
+		Scenario scenario.Spec
+		Protocol string
+		Seed     int64
+	}{p.Cells[cell].spec, p.Cells[cell].Protocol, p.SeedFor(cell, rep)}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// A plan that expanded cannot fail to marshal; guard anyway.
+		panic(fmt.Sprintf("campaign: hashing unit: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Expand validates the spec and expands it into a Plan. The returned plan's

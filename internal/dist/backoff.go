@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// retry runs f until it succeeds, returns a permanent error, or ctx ends.
+// Between attempts it sleeps an exponentially growing interval with full
+// jitter (uniform in [d/2, d)), so a fleet of workers hammering a
+// recovering coordinator naturally de-synchronizes. The jitter source is
+// the global math/rand — worker-side timing never feeds the simulation,
+// so it cannot perturb determinism.
+func retry(ctx context.Context, base, max time.Duration, f func() error) error {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	delay := base
+	for {
+		err := f()
+		if err == nil {
+			return nil
+		}
+		var p *permanentError
+		if errors.As(err, &p) {
+			return p.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		d := delay/2 + rand.N(delay/2+1)
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		delay *= 2
+		if delay > max {
+			delay = max
+		}
+	}
+}
+
+// permanentError wraps an error retry must not absorb (4xx responses,
+// protocol violations).
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// permanent marks an error as non-retryable.
+func permanent(err error) error { return &permanentError{err: err} }

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"adhocsim/internal/stats"
+)
+
+// Store is the content-addressed result cache: run results keyed by
+// campaign.Plan.UnitKey — a digest of the fully-resolved scenario,
+// protocol, and derived seed, i.e. of everything that determines the
+// result. Because runs are deterministic, a hit is exactly the result a
+// re-execution would produce, so the coordinator consults the store
+// before leasing any unit and resubmitted or overlapping campaigns reuse
+// finished runs instead of recomputing them.
+//
+// Implementations must be safe for concurrent use. Get reports a miss
+// with found == false; errors are reserved for real faults (I/O), and
+// callers are expected to degrade a faulty cache to a miss.
+type Store interface {
+	Get(key string) (res stats.Results, found bool, err error)
+	Put(key string, res stats.Results) error
+}
+
+// MemStore is an in-memory Store: per-process reuse and tests.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]stats.Results
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string]stats.Results)}
+}
+
+// Get looks a key up.
+func (s *MemStore) Get(key string) (stats.Results, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.m[key]
+	return res, ok, nil
+}
+
+// Put stores a result.
+func (s *MemStore) Put(key string, res stats.Results) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = res
+	return nil
+}
+
+// Len reports the number of cached results.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// FSStore is a filesystem-backed Store: one JSON file per result at
+// <dir>/<key[:2]>/<key>.json (the two-character fan-out keeps directories
+// small at scale). Writes are atomic — a temp file renamed into place —
+// so concurrent writers of the same key and crashes mid-write can never
+// leave a torn entry visible; a corrupt file (external tampering) reads
+// as a miss, never as a wrong result, because the key is content-derived
+// but the payload is re-validated only by JSON shape.
+type FSStore struct {
+	dir string
+}
+
+// NewFSStore creates (if needed) the cache directory and returns the store.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: creating result cache dir: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir is the cache root.
+func (s *FSStore) Dir() string { return s.dir }
+
+func (s *FSStore) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get looks a key up; absent or undecodable files are misses.
+func (s *FSStore) Get(key string) (stats.Results, bool, error) {
+	if len(key) < 2 {
+		return stats.Results{}, false, fmt.Errorf("dist: malformed cache key %q", key)
+	}
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return stats.Results{}, false, nil
+	}
+	if err != nil {
+		return stats.Results{}, false, fmt.Errorf("dist: reading cache entry: %w", err)
+	}
+	var res stats.Results
+	if err := json.Unmarshal(data, &res); err != nil {
+		return stats.Results{}, false, nil // corrupt entry: treat as a miss
+	}
+	return res, true, nil
+}
+
+// Put stores a result atomically.
+func (s *FSStore) Put(key string, res stats.Results) error {
+	if len(key) < 2 {
+		return fmt.Errorf("dist: malformed cache key %q", key)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("dist: creating cache shard: %w", err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("dist: encoding cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("dist: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: publishing cache entry: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,667 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"adhocsim/internal/campaign"
+)
+
+// testSpec is a small 2-protocol × 2-rep campaign (4 runs, milliseconds of
+// wall clock) used across the end-to-end tests.
+func testSpec() campaign.Spec {
+	nodes, area, dur, sources := 8, 500.0, 10.0, 2
+	return campaign.Spec{
+		Name:      "dist-test",
+		Base:      campaign.ScenarioPatch{Nodes: &nodes, AreaW: &area, DurationS: &dur, Sources: &sources},
+		Protocols: []string{"DSR", "AODV"},
+		MaxReps:   2,
+	}
+}
+
+// biggerSpec has enough units (15) that a campaign is reliably still
+// running when a test wants to interfere with it.
+func biggerSpec() campaign.Spec {
+	nodes, area, dur, sources := 8, 500.0, 30.0, 2
+	return campaign.Spec{
+		Name:      "dist-test-big",
+		Base:      campaign.ScenarioPatch{Nodes: &nodes, AreaW: &area, DurationS: &dur, Sources: &sources},
+		Protocols: []string{"DSR", "AODV", "DSDV"},
+		MaxReps:   5,
+	}
+}
+
+func newTestServer(t *testing.T, opts ServerOptions) (*Server, string) {
+	t.Helper()
+	s := NewServer(opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs.URL
+}
+
+// startWorker runs an in-process worker against a coordinator URL and
+// returns a stop function that drains it gracefully.
+func startWorker(t *testing.T, base string, slots int) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := RunWorker(ctx, WorkerOptions{
+			Coordinator:  base,
+			Slots:        slots,
+			PollInterval: 20 * time.Millisecond,
+			BackoffBase:  5 * time.Millisecond,
+			BackoffMax:   100 * time.Millisecond,
+			Logf:         t.Logf,
+		}); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+func submitSpec(t *testing.T, base string, spec campaign.Spec) createdResponse {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var created createdResponse
+	decodeBody(t, resp, http.StatusCreated, &created)
+	return created
+}
+
+func decodeBody(t *testing.T, resp *http.Response, want int, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("status %d (want %d): %s", resp.StatusCode, want, buf.String())
+	}
+	if v != nil {
+		if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+			t.Fatalf("decoding body: %v", err)
+		}
+	}
+}
+
+func waitDone(t *testing.T, base, id string, timeout time.Duration) campaign.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/campaigns/" + id)
+		if err != nil {
+			t.Fatalf("progress: %v", err)
+		}
+		var snap campaign.Snapshot
+		decodeBody(t, resp, http.StatusOK, &snap)
+		switch snap.State {
+		case campaign.StateDone:
+			return snap
+		case campaign.StateFailed, campaign.StateCancelled:
+			t.Fatalf("campaign ended %s: %s", snap.State, snap.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func httpResults(t *testing.T, base, id string) campaign.Result {
+	t.Helper()
+	resp, err := http.Get(base + "/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatalf("results: %v", err)
+	}
+	var result campaign.Result
+	decodeBody(t, resp, http.StatusOK, &result)
+	return result
+}
+
+// singleProcessResult runs the spec in-process (no HTTP, no distribution)
+// as the determinism reference.
+func singleProcessResult(t *testing.T, spec campaign.Spec) *campaign.Result {
+	t.Helper()
+	res, err := campaign.Run(context.Background(), spec, campaign.Options{})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return res
+}
+
+// TestResultJSONRoundtrip pins down that a campaign Result survives the
+// JSON wire encoding bit-identically (reflect.DeepEqual) — the property
+// every distributed DeepEqual guarantee in this package rests on.
+func TestResultJSONRoundtrip(t *testing.T) {
+	ref := singleProcessResult(t, testSpec())
+	b, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back campaign.Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*ref, back) {
+		t.Errorf("JSON roundtrip perturbed the result:\nref:  %+v\nback: %+v", ref, back)
+	}
+}
+
+// TestDistributedMatchesSingleProcess is the core determinism claim: a
+// campaign executed entirely by remote workers over HTTP aggregates to a
+// result reflect.DeepEqual to the single-process in-memory run — worker
+// results cross two JSON boundaries on the way, so this also pins down
+// that the wire encoding is lossless for every stats field.
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	spec := testSpec()
+	ref := singleProcessResult(t, spec)
+
+	s, base := newTestServer(t, ServerOptions{LocalWorkers: -1, Cache: NewMemStore()})
+	startWorker(t, base, 2)
+	startWorker(t, base, 2)
+
+	created := submitSpec(t, base, spec)
+	waitDone(t, base, created.ID, time.Minute)
+
+	m := s.lookup(created.ID)
+	if m == nil {
+		t.Fatal("campaign disappeared")
+	}
+	got := m.c.Result()
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("distributed result differs from single-process:\nref: %+v\ngot: %+v", ref, got)
+	}
+
+	// The HTTP view must decode back to the same value.
+	viaHTTP := httpResults(t, base, created.ID)
+	if !reflect.DeepEqual(*ref, viaHTTP) {
+		t.Errorf("HTTP-decoded result differs from single-process reference")
+	}
+}
+
+// TestMixedLocalAndRemote runs local executors and remote workers against
+// the same campaign; the shared dispatch/commit path must keep the result
+// identical.
+func TestMixedLocalAndRemote(t *testing.T) {
+	spec := testSpec()
+	ref := singleProcessResult(t, spec)
+
+	s, base := newTestServer(t, ServerOptions{LocalWorkers: 2})
+	startWorker(t, base, 2)
+
+	created := submitSpec(t, base, spec)
+	waitDone(t, base, created.ID, time.Minute)
+	if got := s.lookup(created.ID).c.Result(); !reflect.DeepEqual(ref, got) {
+		t.Errorf("mixed local+remote result differs from single-process")
+	}
+}
+
+// TestLeaseExpiryReissuesUnit simulates a worker that leases a unit and
+// dies silently (no renew, no release, no commit): the reaper must
+// re-issue the unit and the campaign must still finish with the correct
+// result.
+func TestLeaseExpiryReissuesUnit(t *testing.T) {
+	spec := testSpec()
+	ref := singleProcessResult(t, spec)
+
+	s, base := newTestServer(t, ServerOptions{
+		LocalWorkers: -1,
+		LeaseTTL:     100 * time.Millisecond,
+		ReapInterval: 20 * time.Millisecond,
+	})
+
+	created := submitSpec(t, base, spec)
+
+	// The "doomed" worker takes one lease and vanishes.
+	var grant LeaseGrant
+	resp, err := http.Post(base+"/dist/lease", "application/json",
+		bytes.NewReader([]byte(`{"worker":"doomed"}`)))
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	decodeBody(t, resp, http.StatusOK, &grant)
+	if s.leases.count("") != 1 {
+		t.Fatalf("expected 1 outstanding lease, got %d", s.leases.count(""))
+	}
+
+	// A healthy worker joins; once the doomed lease expires its unit is
+	// re-issued and the campaign completes.
+	startWorker(t, base, 2)
+	waitDone(t, base, created.ID, time.Minute)
+	if got := s.lookup(created.ID).c.Result(); !reflect.DeepEqual(ref, got) {
+		t.Errorf("result after lease expiry differs from single-process")
+	}
+
+	// The dead worker's renewals are now rejected.
+	resp, err = http.Post(base+"/dist/renew", "application/json",
+		bytes.NewReader([]byte(`{"lease_id":"`+grant.LeaseID+`"}`)))
+	if err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	decodeBody(t, resp, http.StatusGone, nil)
+}
+
+// TestWorkerHardAbortAndRestart force-aborts a worker mid-campaign (the
+// in-process analogue of kill -9 plus a restart) and checks the campaign
+// still converges to the single-process result.
+func TestWorkerHardAbortAndRestart(t *testing.T) {
+	spec := biggerSpec()
+	ref := singleProcessResult(t, spec)
+
+	s, base := newTestServer(t, ServerOptions{
+		LocalWorkers: -1,
+		LeaseTTL:     200 * time.Millisecond,
+		ReapInterval: 20 * time.Millisecond,
+	})
+
+	created := submitSpec(t, base, spec)
+	sub := s.Hub().Subscribe(CampaignTopic(created.ID), 64)
+	defer sub.Cancel()
+
+	hard, abort := context.WithCancel(context.Background())
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		// ctx == hard: abort is immediate, not a graceful drain.
+		_ = RunWorker(hard, WorkerOptions{
+			Coordinator:  base,
+			Slots:        2,
+			PollInterval: 10 * time.Millisecond,
+			BackoffBase:  5 * time.Millisecond,
+			Hard:         hard,
+		})
+	}()
+
+	// Abort the first worker as soon as one run lands.
+	deadline := time.After(time.Minute)
+	for committed := false; !committed; {
+		select {
+		case e := <-sub.C():
+			if e.Type == EventRunCommitted {
+				committed = true
+			}
+		case <-deadline:
+			t.Fatal("no run committed within a minute")
+		}
+	}
+	abort()
+	<-firstDone
+
+	startWorker(t, base, 2) // the "restarted" worker
+	waitDone(t, base, created.ID, time.Minute)
+	if got := s.lookup(created.ID).c.Result(); !reflect.DeepEqual(ref, got) {
+		t.Errorf("result after worker abort+restart differs from single-process")
+	}
+}
+
+// TestDuplicateCommitConflict checks the first-result-wins rule on the
+// wire: the second commit of a unit gets 409 carrying the winning result.
+func TestDuplicateCommitConflict(t *testing.T) {
+	_, base := newTestServer(t, ServerOptions{LocalWorkers: -1})
+	created := submitSpec(t, base, testSpec())
+
+	var grant LeaseGrant
+	resp, err := http.Post(base+"/dist/lease", "application/json",
+		bytes.NewReader([]byte(`{"worker":"w1"}`)))
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	decodeBody(t, resp, http.StatusOK, &grant)
+
+	// Execute the unit the way a worker would: fetch the spec, expand
+	// locally, verify the hash, run.
+	var sr SpecResponse
+	resp, err = http.Get(base + "/dist/campaigns/" + created.ID + "/spec")
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	decodeBody(t, resp, http.StatusOK, &sr)
+	plan, err := sr.Plan()
+	if err != nil {
+		t.Fatalf("reconstructing plan: %v", err)
+	}
+	res, err := plan.ExecuteUnit(context.Background(), grant.Cell, grant.Rep)
+	if err != nil {
+		t.Fatalf("executing unit: %v", err)
+	}
+
+	commit := func() (*http.Response, error) {
+		body, _ := json.Marshal(CommitRequest{
+			Worker: "w1", Campaign: grant.Campaign, SpecHash: grant.SpecHash,
+			Cell: grant.Cell, Rep: grant.Rep, Results: res,
+		})
+		return http.Post(base+"/dist/commit", "application/json", bytes.NewReader(body))
+	}
+
+	resp, err = commit()
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	var first CommitResponse
+	decodeBody(t, resp, http.StatusOK, &first)
+	if !first.Committed {
+		t.Fatalf("first commit not accepted: %+v", first)
+	}
+
+	resp, err = commit()
+	if err != nil {
+		t.Fatalf("second commit: %v", err)
+	}
+	var second CommitResponse
+	decodeBody(t, resp, http.StatusConflict, &second)
+	if second.Committed {
+		t.Error("duplicate commit claims to have been accepted")
+	}
+	if second.Results == nil {
+		t.Fatal("409 response does not carry the winning result")
+	}
+	if !reflect.DeepEqual(*second.Results, res) {
+		t.Error("winning result in 409 differs from the committed one")
+	}
+
+	// A commit under a stale spec hash is rejected before touching state.
+	body, _ := json.Marshal(CommitRequest{
+		Campaign: grant.Campaign, SpecHash: "deadbeef", Cell: 0, Rep: 1, Results: res,
+	})
+	resp, err = http.Post(base+"/dist/commit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("stale commit: %v", err)
+	}
+	decodeBody(t, resp, http.StatusConflict, nil)
+}
+
+// TestDeleteWhileRunning cancels a distributed campaign mid-flight over
+// HTTP: the delete must settle the campaign, drop every lease, notify the
+// control stream, and leave the worker idling harmlessly.
+func TestDeleteWhileRunning(t *testing.T) {
+	s, base := newTestServer(t, ServerOptions{LocalWorkers: -1})
+	created := submitSpec(t, base, biggerSpec())
+
+	sub := s.Hub().Subscribe(CampaignTopic(created.ID), 64)
+	defer sub.Cancel()
+	control := s.Hub().Subscribe(ControlTopic, 16)
+	defer control.Cancel()
+
+	startWorker(t, base, 1)
+
+	// Wait until the campaign is demonstrably in-flight.
+	deadline := time.After(time.Minute)
+	for committed := false; !committed; {
+		select {
+		case e := <-sub.C():
+			if e.Type == EventRunCommitted {
+				committed = true
+			}
+		case <-deadline:
+			t.Fatal("no run committed within a minute")
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/campaigns/"+created.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	var snap campaign.Snapshot
+	decodeBody(t, resp, http.StatusOK, &snap)
+	if snap.State != campaign.StateCancelled {
+		t.Fatalf("state after delete = %s, want cancelled", snap.State)
+	}
+
+	// The control topic announced the cancellation (workers abort on it).
+	cancelSeen := false
+	ctrlDeadline := time.After(10 * time.Second)
+	for !cancelSeen {
+		select {
+		case e := <-control.C():
+			if e.Type == EventCampaignCancelled && e.Campaign == created.ID {
+				cancelSeen = true
+			}
+		case <-ctrlDeadline:
+			t.Fatal("no cancellation on the control topic")
+		}
+	}
+
+	// Leases drain: dropped at delete, and any straggler commit is refused.
+	if n := s.leases.count(created.ID); n != 0 {
+		t.Errorf("campaign still holds %d leases after delete", n)
+	}
+	resp, err = http.Get(base + "/campaigns/" + created.ID + "/results")
+	if err != nil {
+		t.Fatalf("results: %v", err)
+	}
+	decodeBody(t, resp, http.StatusConflict, nil) // cancelled: no results
+
+	// Deleting again is idempotent.
+	req, _ = http.NewRequest(http.MethodDelete, base+"/campaigns/"+created.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+	decodeBody(t, resp, http.StatusOK, &snap)
+}
+
+// TestCacheResubmitZeroRecompute: after a campaign completes once, an
+// identical submission against a fresh coordinator sharing only the result
+// cache must complete at submission time with every run served from cache.
+func TestCacheResubmitZeroRecompute(t *testing.T) {
+	spec := testSpec()
+	cache := NewMemStore()
+
+	s1, base1 := newTestServer(t, ServerOptions{Cache: cache})
+	created1 := submitSpec(t, base1, spec)
+	waitDone(t, base1, created1.ID, time.Minute)
+	want := s1.lookup(created1.ID).c.Result()
+	if cache.Len() == 0 {
+		t.Fatal("completed campaign populated no cache entries")
+	}
+
+	// Fresh coordinator, no executors of any kind: cache is the only way.
+	s2, base2 := newTestServer(t, ServerOptions{LocalWorkers: -1, Cache: cache})
+	created2 := submitSpec(t, base2, spec)
+	snap := waitDone(t, base2, created2.ID, 10*time.Second)
+	if snap.RunsFromCache != snap.RunsDone || snap.RunsDone != created2.MaxRuns {
+		t.Errorf("resubmission: %d runs done, %d from cache, want all %d cached",
+			snap.RunsDone, snap.RunsFromCache, created2.MaxRuns)
+	}
+	if got := s2.lookup(created2.ID).c.Result(); !reflect.DeepEqual(want, got) {
+		t.Errorf("cache-served result differs from computed result")
+	}
+
+	// Cross-campaign reuse: a different spec whose grid overlaps (same
+	// base, fewer protocols) also starts from the shared units.
+	overlap := spec
+	overlap.Protocols = []string{"DSR"}
+	created3 := submitSpec(t, base2, overlap)
+	snap = waitDone(t, base2, created3.ID, 10*time.Second)
+	if snap.RunsFromCache != snap.RunsDone {
+		t.Errorf("overlapping campaign recomputed %d of %d runs",
+			snap.RunsDone-snap.RunsFromCache, snap.RunsDone)
+	}
+}
+
+// TestSSEStreamMonotone subscribes to a campaign's SSE stream over real
+// HTTP and checks the committed-run counts never decrease and the stream
+// terminates with campaign_done.
+func TestSSEStreamMonotone(t *testing.T) {
+	_, base := newTestServer(t, ServerOptions{LocalWorkers: 2})
+	created := submitSpec(t, base, testSpec())
+
+	resp, err := http.Get(base + created.Events)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+
+	last := -1
+	var types []string
+	err = readSSE(context.Background(), resp.Body, func(e Event) {
+		types = append(types, e.Type)
+		if e.Snapshot != nil {
+			if e.Snapshot.RunsDone < last {
+				t.Errorf("runs_done went backwards: %d after %d", e.Snapshot.RunsDone, last)
+			}
+			last = e.Snapshot.RunsDone
+		}
+	})
+	if err != nil {
+		t.Fatalf("reading SSE: %v", err)
+	}
+	if len(types) == 0 || types[0] != EventSnapshot {
+		t.Fatalf("stream did not open with a snapshot: %v", types)
+	}
+	if types[len(types)-1] != EventCampaignDone {
+		t.Fatalf("stream did not end with campaign_done: %v", types)
+	}
+	if last != 4 {
+		t.Errorf("final runs_done = %d, want 4", last)
+	}
+
+	// A late subscriber to the finished campaign gets snapshot + done
+	// immediately and the stream closes.
+	resp, err = http.Get(base + created.Events)
+	if err != nil {
+		t.Fatalf("late events: %v", err)
+	}
+	defer resp.Body.Close()
+	types = nil
+	if err := readSSE(context.Background(), resp.Body, func(e Event) {
+		types = append(types, e.Type)
+	}); err != nil {
+		t.Fatalf("late SSE: %v", err)
+	}
+	if len(types) != 2 || types[0] != EventSnapshot || types[1] != EventCampaignDone {
+		t.Fatalf("late subscription stream = %v, want [snapshot campaign_done]", types)
+	}
+}
+
+// TestGracefulShutdownCheckpoints drains a coordinator mid-campaign and
+// checks the journal is left as a clean, resumable checkpoint: a fresh
+// coordinator on the same journal dir finishes the campaign and matches
+// the uninterrupted result.
+func TestGracefulShutdownCheckpoints(t *testing.T) {
+	spec := biggerSpec()
+	ref := singleProcessResult(t, spec)
+	dir := t.TempDir()
+
+	s1 := NewServer(ServerOptions{LocalWorkers: 2, JournalDir: dir})
+	hs1 := httptest.NewServer(s1.Handler())
+	created := submitSpec(t, hs1.URL, spec)
+
+	sub := s1.Hub().Subscribe(CampaignTopic(created.ID), 64)
+	deadline := time.After(time.Minute)
+	for committed := false; !committed; {
+		select {
+		case e := <-sub.C():
+			if e.Type == EventRunCommitted {
+				committed = true
+			}
+		case <-deadline:
+			t.Fatal("no run committed within a minute")
+		}
+	}
+	sub.Cancel()
+
+	// Graceful drain: in-flight runs finish and land in the journal.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	cancel()
+	hs1.Close()
+
+	s2, base2 := newTestServer(t, ServerOptions{LocalWorkers: 2, JournalDir: dir})
+	created2 := submitSpec(t, base2, spec)
+	snap := waitDone(t, base2, created2.ID, time.Minute)
+	if snap.RunsDone != created2.MaxRuns {
+		t.Fatalf("resumed campaign ran %d of %d runs", snap.RunsDone, created2.MaxRuns)
+	}
+	if got := s2.lookup(created2.ID).c.Result(); !reflect.DeepEqual(ref, got) {
+		t.Errorf("resumed-after-shutdown result differs from uninterrupted run")
+	}
+}
+
+// TestDrainingRefusesWork: during shutdown new submissions get 503 and
+// lease requests come back empty.
+func TestDrainingRefusesWork(t *testing.T) {
+	s, base := newTestServer(t, ServerOptions{LocalWorkers: -1})
+	created := submitSpec(t, base, testSpec())
+	_ = created
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired: Shutdown force-cancels immediately
+	_ = s.Shutdown(ctx)
+
+	body, _ := json.Marshal(testSpec())
+	resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	decodeBody(t, resp, http.StatusServiceUnavailable, nil)
+
+	resp, err = http.Post(base+"/dist/lease", "application/json",
+		bytes.NewReader([]byte(`{"worker":"w"}`)))
+	if err != nil {
+		t.Fatalf("lease while draining: %v", err)
+	}
+	decodeBody(t, resp, http.StatusNoContent, nil)
+}
+
+// TestStatusEndpoint sanity-checks the introspection view.
+func TestStatusEndpoint(t *testing.T) {
+	_, base := newTestServer(t, ServerOptions{LocalWorkers: -1})
+	submitSpec(t, base, testSpec())
+
+	resp, err := http.Get(base + "/dist/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	var st StatusResponse
+	decodeBody(t, resp, http.StatusOK, &st)
+	if st.Campaigns != 1 || st.Running != 1 {
+		t.Errorf("status = %+v, want 1 campaign running", st)
+	}
+}
+
+// TestSpecHashGuardsLease checks that a worker whose local expansion
+// disagrees with the coordinator's hash refuses the work (version-skew
+// protection) rather than executing under a wrong model.
+func TestSpecHashGuardsLease(t *testing.T) {
+	sr := SpecResponse{Spec: testSpec(), Hash: "not-the-real-hash"}
+	plan, err := sr.Spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Scenario = &plan.Base
+	if _, err := sr.Plan(); err == nil {
+		t.Fatal("SpecResponse.Plan accepted a mismatched hash")
+	}
+}

@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"adhocsim/internal/campaign"
+)
+
+// Server-sent events: the hub's bridge to HTTP. Each event is written as
+//
+//	event: <type>
+//	data: <json Event>
+//
+// with a comment-line heartbeat while idle so intermediaries keep the
+// connection alive.
+
+const sseHeartbeat = 15 * time.Second
+
+// sseWriter wraps a streaming response.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w: w, f: f}, true
+}
+
+func (s *sseWriter) event(e Event) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", e.Type, b); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+func (s *sseWriter) comment(text string) error {
+	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+// isTerminal reports whether an event ends a campaign's stream.
+func isTerminal(e Event) bool {
+	return e.Type == EventCampaignDone || e.Type == EventCampaignCancelled
+}
+
+// handleEvents streams one campaign's progress: an initial snapshot, then
+// run_committed / cell_converged events through to the terminal
+// campaign_done. Subscription happens before the initial snapshot is read,
+// so a terminal transition can never fall between the two unobserved.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+		return
+	}
+	sub := s.hub.Subscribe(CampaignTopic(m.id), 64)
+	defer sub.Cancel()
+	sw, ok := newSSEWriter(w)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+
+	snap := m.c.Snapshot()
+	if err := sw.event(Event{Type: EventSnapshot, Campaign: m.id, State: snap.State, Snapshot: &snap}); err != nil {
+		return
+	}
+	if terminalState(snap.State) {
+		_ = sw.event(Event{Type: EventCampaignDone, Campaign: m.id, State: snap.State, Snapshot: &snap, Err: snap.Err})
+		return
+	}
+
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-sub.C():
+			if err := sw.event(e); err != nil {
+				return
+			}
+			if isTerminal(e) {
+				return
+			}
+		case <-hb.C:
+			// Heartbeat doubles as a terminal-state safety net: if the
+			// subscriber's buffer ever dropped the done event (pathological
+			// backlog), the stream still closes.
+			if snap := m.c.Snapshot(); terminalState(snap.State) {
+				_ = sw.event(Event{Type: EventCampaignDone, Campaign: m.id, State: snap.State, Snapshot: &snap, Err: snap.Err})
+				return
+			}
+			if err := sw.comment("ping"); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func terminalState(st campaign.State) bool {
+	return st == campaign.StateDone || st == campaign.StateFailed || st == campaign.StateCancelled
+}
+
+// handleControlEvents streams coordinator→worker notifications for every
+// campaign (cancellations and completions). Workers hold one subscription
+// for their lifetime and abort in-flight runs whose campaign ends.
+func (s *Server) handleControlEvents(w http.ResponseWriter, r *http.Request) {
+	sub := s.hub.Subscribe(ControlTopic, 64)
+	defer sub.Cancel()
+	sw, ok := newSSEWriter(w)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	if err := sw.comment("control stream open"); err != nil {
+		return
+	}
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.base.Done():
+			return
+		case e := <-sub.C():
+			if err := sw.event(e); err != nil {
+				return
+			}
+		case <-hb.C:
+			if err := sw.comment("ping"); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readSSE consumes a server-sent-events stream, invoking onEvent for every
+// complete event until the stream ends or ctx is cancelled. It is the
+// worker-side client for /dist/events (and works against
+// /campaigns/{id}/events too).
+func readSSE(ctx context.Context, body interface{ Read([]byte) (int, error) }, onEvent func(Event)) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var data bytes.Buffer
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() > 0 {
+				var e Event
+				if err := json.Unmarshal(data.Bytes(), &e); err == nil {
+					onEvent(e)
+				}
+				data.Reset()
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		default:
+			// event:/id:/retry: lines and comments — the type travels
+			// inside the JSON payload as well, so they carry no extra
+			// information for us.
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
