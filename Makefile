@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test figs bench bench-baseline race campaign-smoke dist-smoke scenario-smoke radio-smoke
+.PHONY: verify fmt vet build test figs bench bench-baseline bench-compare profile race campaign-smoke dist-smoke scenario-smoke radio-smoke
 
 ## verify: the tier-1 gate — formatting, vet, build, tests.
 verify: fmt vet build test
@@ -65,3 +65,23 @@ bench-baseline:
 	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_baseline.json
 	@rm -f bench.out.tmp
 	@echo wrote BENCH_baseline.json
+
+## bench-compare: run the benchmarks and report per-benchmark ns/op drift
+## against the committed BENCH_baseline.json. Informational — a drift past
+## the tolerance prints REGRESSION but does not fail the target (pass
+## BENCHJSON_FLAGS=-strict to make it gate).
+BENCHJSON_FLAGS ?=
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > bench.out.tmp
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json $(BENCHJSON_FLAGS) < bench.out.tmp
+	@rm -f bench.out.tmp
+
+## profile: capture CPU + heap pprof profiles of a mid-size city-scale
+## single run (2000 nodes, manhattan mobility, calendar scheduler) into
+## ./profiles. Inspect with `go tool pprof profiles/cpu.pprof`.
+profile:
+	@mkdir -p profiles
+	$(GO) run ./cmd/adhocsim -nodes 2000 -w 4000 -h 800 -dur 30 \
+		-proto CBRP -mobility manhattan -scheduler calendar \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
+	@echo wrote profiles/cpu.pprof profiles/mem.pprof

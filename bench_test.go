@@ -10,6 +10,8 @@ package adhocsim_test
 
 import (
 	"context"
+	"math"
+	"runtime"
 	"testing"
 
 	"adhocsim"
@@ -321,6 +323,7 @@ func largeNSpec() adhocsim.Spec {
 
 func runLargeN(b *testing.B, spec adhocsim.Spec, phy adhocsim.PhyConfig) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := adhocsim.Run(adhocsim.RunConfig{
 			Spec:     spec,
@@ -359,6 +362,99 @@ func BenchmarkSingleRunLargeNGaussMarkov(b *testing.B) {
 	spec := largeNSpec()
 	spec.Mobility = adhocsim.MobilitySpec{Name: "gauss-markov"}
 	runLargeN(b, spec, adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second})
+}
+
+// cityScaleSpec scales the large-N scenario to n nodes at constant density
+// (area grows with √n, exactly what core.ScaleAxis does) under
+// registry-selected Manhattan mobility — the city-scale regime: a street
+// grid of beaconing CBRP nodes, thousands of pending events, working sets
+// far beyond cache. Duration is one simulated minute so a full
+// heap/calendar × 5k/10k matrix stays benchable.
+func cityScaleSpec(n int) adhocsim.Spec {
+	s := largeNSpec()
+	k := math.Sqrt(float64(n) / float64(s.Nodes))
+	s.Area = geo.Rect{W: s.Area.W * k, H: s.Area.H * k}
+	s.Nodes = n
+	s.Mobility = adhocsim.MobilitySpec{Name: "manhattan"}
+	s.Duration = 60 * sim.Second
+	return s
+}
+
+// BenchmarkSingleRunCityScale is the city-scale tier: 5k- and 10k-node
+// single runs under Manhattan mobility at the large-N density, on both
+// event-queue implementations. The heap/calendar ns/op ratio at each
+// population prices the scheduler (the calendar queue's O(1) amortized
+// insert/pop vs the heap's O(log n)); allocations per run are reported so
+// a per-event allocation regression on the flattened hot path is visible
+// in the committed baseline.
+func BenchmarkSingleRunCityScale(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		nodes int
+		sched adhocsim.QueueKind
+	}{
+		{"5k-heap", 5000, adhocsim.QueueHeap},
+		{"5k-calendar", 5000, adhocsim.QueueCalendar},
+		{"10k-heap", 10000, adhocsim.QueueHeap},
+		{"10k-calendar", 10000, adhocsim.QueueCalendar},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			spec := cityScaleSpec(tc.nodes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := adhocsim.Run(adhocsim.RunConfig{
+					Spec:     spec,
+					Protocol: adhocsim.CBRP,
+					Seed:     1,
+					Phy: adhocsim.PhyConfig{
+						ReindexInterval: 5 * sim.Second,
+						Scheduler:       tc.sched,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.RoutingTxPackets == 0 {
+					b.Fatal("city-scale run produced no beacon traffic")
+				}
+			}
+		})
+	}
+}
+
+// TestLargeNAllocationBudget is the allocation-regression tripwire behind
+// the b.ReportAllocs numbers: one 200-node large-N run must stay under a
+// generous heap-allocation budget. The hot paths are pooled (events,
+// arrivals, receptions) and the per-node state is flattened, so steady-state
+// allocation is dominated by setup (tracks, protocol state) — if this
+// trips, something started allocating per event, which at city scale means
+// millions of allocations per simulated minute.
+func TestLargeNAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one 900 s large-N run")
+	}
+	spec := largeNSpec()
+	phy := adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := adhocsim.Run(adhocsim.RunConfig{Spec: spec, Protocol: adhocsim.CBRP, Seed: 1, Phy: phy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if res.RoutingTxPackets == 0 {
+		t.Fatal("large-N run produced no beacon traffic")
+	}
+	mallocs := after.Mallocs - before.Mallocs
+	// Measured ~3× headroom over the current implementation; the budget is
+	// a coarse bound meant to catch per-event allocation creep, not to pin
+	// the exact count.
+	const budget = 2_000_000
+	if mallocs > budget {
+		t.Fatalf("large-N run performed %d heap allocations, budget %d", mallocs, budget)
+	}
 }
 
 // BenchmarkSingleRunLargeNSINR is the 200-node run with cumulative-

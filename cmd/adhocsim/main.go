@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -125,6 +127,10 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text")
 		traceFile = flag.String("trace", "", "write an ns-2-style packet trace to this file (single seed only)")
 		brute     = flag.Bool("brute", false, "disable the spatial-index transmit path (legacy O(N) loop)")
+		scheduler = flag.String("scheduler", "", "event-queue implementation for single runs: heap (default) or calendar")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 
 		campaignFile = flag.String("campaign", "", "run a replication campaign from this JSON spec file ('-' = stdin) instead of a single run")
 		checkpoint   = flag.String("checkpoint", "", "campaign journal path; an existing journal of the same spec is resumed")
@@ -132,9 +138,47 @@ func main() {
 	)
 	flag.Parse()
 
+	// Profiling wraps everything after flag parsing — single runs and
+	// campaigns alike — so hot-path regressions can be diagnosed straight
+	// from the CLI (`make profile`) without editing benchmark code. The
+	// profiles are skipped on error exits (os.Exit bypasses defers), which
+	// is fine for a diagnostics flag.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adhocsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "adhocsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adhocsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle to live objects so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "adhocsim:", err)
+			}
+		}()
+	}
+
 	if *campaignFile != "" {
 		runCampaign(*campaignFile, *checkpoint, *workers)
 		return
+	}
+
+	sched, err := adhocsim.ParseQueueKind(*scheduler)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhocsim:", err)
+		os.Exit(2)
 	}
 
 	spec := adhocsim.DefaultSpec()
@@ -164,7 +208,7 @@ func main() {
 	rc := adhocsim.RunConfig{
 		Spec:     spec,
 		Protocol: strings.ToUpper(*proto),
-		Phy:      adhocsim.PhyConfig{BruteForce: *brute},
+		Phy:      adhocsim.PhyConfig{BruteForce: *brute, Scheduler: sched},
 	}
 	if *traceFile != "" {
 		if *seeds != 1 {

@@ -7,12 +7,23 @@
 // Every benchmark line becomes one record with its ns/op and any custom
 // b.ReportMetric values; context lines (goos, goarch, cpu, pkg) are carried
 // through so a baseline records where it was measured.
+//
+// With -compare, the stdin stream is instead checked against a committed
+// baseline: every benchmark present in both is reported with its ns/op
+// ratio, drifts beyond -tolerance are flagged, and benchmarks present on
+// only one side are called out. The exit status stays 0 unless -strict is
+// set, so CI can surface the report without gating merges on a noisy
+// shared runner.
+//
+//	go test -bench . -benchtime 1x ./... | go run ./cmd/benchjson -compare BENCH_baseline.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -41,9 +52,35 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "compare stdin against this baseline JSON instead of emitting JSON")
+	tolerance := flag.Float64("tolerance", 0.25, "relative ns/op drift treated as noise in -compare mode")
+	strict := flag.Bool("strict", false, "with -compare, exit 1 when any benchmark regresses past the tolerance")
+	flag.Parse()
+
+	rep, err := parseStream(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *compare != "" {
+		os.Exit(compareBaseline(rep, *compare, *tolerance, *strict))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseStream reads `go test -bench` text output and returns the sorted
+// Report the plain (non-compare) mode would emit.
+func parseStream(r io.Reader) (Report, error) {
 	rep := Report{GoVersion: runtime.Version()}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -64,8 +101,7 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return Report{}, err
 	}
 	sort.Slice(rep.Benchmarks, func(i, j int) bool {
 		if rep.Benchmarks[i].Package != rep.Benchmarks[j].Package {
@@ -73,12 +109,76 @@ func main() {
 		}
 		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
 	})
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	return rep, nil
+}
+
+// compareBaseline prints a per-benchmark ns/op ratio report of cur against
+// the baseline JSON at path and returns the process exit code.
+func compareBaseline(cur Report, path string, tol float64, strict bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 1
 	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return 1
+	}
+
+	key := func(b Benchmark) string { return b.Package + " " + b.Name }
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[key(b)] = b
+	}
+
+	fmt.Printf("benchmark comparison vs %s (tolerance ±%.0f%%)\n", path, tol*100)
+	if base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU {
+		fmt.Printf("note: baseline cpu %q != current cpu %q — ratios are indicative only\n", base.CPU, cur.CPU)
+	}
+	fmt.Printf("%-58s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "status")
+
+	var regressions, improvements int
+	for _, b := range cur.Benchmarks {
+		bb, ok := baseBy[key(b)]
+		if !ok {
+			fmt.Printf("%-58s %14s %14.0f %8s  new (not in baseline)\n", b.Name, "-", b.NsPerOp, "-")
+			continue
+		}
+		delete(baseBy, key(b))
+		if bb.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			fmt.Printf("%-58s %14.0f %14.0f %8s  no ns/op\n", b.Name, bb.NsPerOp, b.NsPerOp, "-")
+			continue
+		}
+		ratio := b.NsPerOp / bb.NsPerOp
+		status := "ok"
+		switch {
+		case ratio > 1+tol:
+			status = "REGRESSION"
+			regressions++
+		case ratio < 1-tol:
+			status = "improved"
+			improvements++
+		}
+		fmt.Printf("%-58s %14.0f %14.0f %7.2fx  %s\n", b.Name, bb.NsPerOp, b.NsPerOp, ratio, status)
+	}
+
+	var missing []string
+	for k := range baseBy {
+		missing = append(missing, baseBy[k].Name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("%-58s %14s %14s %8s  missing from current run\n", name, "-", "-", "-")
+	}
+
+	matched := len(base.Benchmarks) - len(missing)
+	fmt.Printf("summary: %d compared, %d regressions, %d improvements, %d new, %d missing\n",
+		matched, regressions, improvements, len(cur.Benchmarks)-matched, len(missing))
+	if strict && regressions > 0 {
+		return 1
+	}
+	return 0
 }
 
 // parseBench parses one result line:

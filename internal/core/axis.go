@@ -145,7 +145,7 @@ func NodesAxis(vs []float64) Axis {
 // study's 40-node scenes.
 func ScaleAxis(vs []float64) Axis {
 	if vs == nil {
-		vs = []float64{50, 100, 200, 350, 500}
+		vs = []float64{50, 100, 200, 350, 500, 1000, 2000, 5000, 10000}
 	}
 	return Axis{Label: "nodes_scaled", Values: vs, Apply: func(s *scenario.Spec, x float64) {
 		if s.Nodes > 0 {

@@ -244,7 +244,7 @@ func TestScaleAxisHoldsDensity(t *testing.T) {
 	if a.Label != "nodes_scaled" {
 		t.Fatalf("label = %q", a.Label)
 	}
-	for _, x := range []float64{50, 200, 500} {
+	for _, x := range []float64{50, 200, 500, 5000, 10000} {
 		s := base
 		a.Apply(&s, x)
 		if s.Nodes != int(x) {

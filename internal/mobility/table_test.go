@@ -1,0 +1,104 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/sim"
+)
+
+// TestTableMatchesCursor: the flattened table must reproduce Cursor.At (and
+// therefore Track.At) bit-for-bit under the same probe sequence — monotone
+// probes, exact repeats, and out-of-order re-seeks alike. The channel's
+// parity tests lean on this equivalence.
+func TestTableMatchesCursor(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tracks []*Track
+	for n := 0; n < 20; n++ {
+		segs := []Segment{{
+			Start: 0,
+			From:  geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+		}}
+		segs[0].To = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		if n%3 != 0 {
+			segs[0].Speed = 1 + rng.Float64()*19
+		}
+		at := sim.Time(0)
+		for k := 0; k < rng.Intn(30); k++ {
+			at += sim.Time(rng.Int63n(int64(10 * sim.Second)))
+			prev := segs[len(segs)-1]
+			seg := Segment{Start: at, From: prev.posAt(at), To: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}}
+			if rng.Intn(4) != 0 {
+				seg.Speed = 1 + rng.Float64()*19
+			}
+			segs = append(segs, seg)
+		}
+		tracks = append(tracks, MustTrack(segs))
+	}
+
+	tb := NewTable(tracks)
+	if tb.Len() != len(tracks) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(tracks))
+	}
+	cursors := make([]*Cursor, len(tracks))
+	for i, tr := range tracks {
+		cursors[i] = NewCursor(tr)
+	}
+
+	var clock sim.Time
+	for probe := 0; probe < 5000; probe++ {
+		i := rng.Intn(len(tracks))
+		var at sim.Time
+		switch rng.Intn(4) {
+		case 0: // monotone advance
+			clock += sim.Time(rng.Int63n(int64(sim.Second)))
+			at = clock
+		case 1: // repeat the current timestamp (memo hit)
+			at = clock
+		case 2: // out-of-order probe into the past
+			if clock > 0 {
+				at = sim.Time(rng.Int63n(int64(clock) + 1))
+			}
+		case 3: // far-future probe beyond the last segment
+			at = clock + sim.Time(rng.Int63n(int64(1000*sim.Second)))
+		}
+		got, want := tb.At(i, at), cursors[i].At(at)
+		if got != want {
+			t.Fatalf("probe %d: Table.At(%d, %v) = %v, Cursor.At = %v", probe, i, at, got, want)
+		}
+	}
+}
+
+// TestTablePositionsBatch: the batch refresh must agree with per-node At
+// and leave the memo hot for subsequent same-timestamp probes.
+func TestTablePositionsBatch(t *testing.T) {
+	tracks := []*Track{
+		Static(geo.Point{X: 1, Y: 2}),
+		MustTrack([]Segment{{Start: 0, From: geo.Point{}, To: geo.Point{X: 100}, Speed: 10}}),
+		MustTrack([]Segment{
+			{Start: 0, From: geo.Point{}, To: geo.Point{Y: 50}, Speed: 5},
+			{Start: sim.At(4), From: geo.Point{Y: 20}, To: geo.Point{X: 30, Y: 20}, Speed: 15},
+		}),
+	}
+	tb := NewTable(tracks)
+	dst := make([]geo.Point, tb.Len())
+	for _, s := range []float64{0, 1.5, 4, 4.5, 100} {
+		at := sim.At(s)
+		tb.Positions(at, dst)
+		for i, tr := range tracks {
+			if want := tr.At(at); dst[i] != want {
+				t.Fatalf("Positions at %v: node %d = %v, want %v", at, i, dst[i], want)
+			}
+			if got := tb.At(i, at); got != dst[i] {
+				t.Fatalf("memo after batch at %v: node %d = %v, want %v", at, i, got, dst[i])
+			}
+		}
+	}
+	// A position query at time zero on a fresh table must not be fooled by
+	// the zero-valued memo (epoch sentinel is -1, not 0).
+	tb2 := NewTable(tracks)
+	if got, want := tb2.At(1, 0), tracks[1].At(0); got != want {
+		t.Fatalf("fresh table at t=0: %v, want %v", got, want)
+	}
+}

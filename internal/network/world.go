@@ -66,12 +66,6 @@ func NewWorld(cfg Config) (*World, error) {
 	if err := cfg.Radio.Validate(); err != nil {
 		return nil, fmt.Errorf("network: %w", err)
 	}
-	w := &World{
-		Eng:       sim.NewEngine(),
-		Collector: stats.NewCollector(),
-		Oracle:    cfg.Oracle,
-		Tracer:    cfg.Tracer,
-	}
 	phyCfg := cfg.Phy
 	if !phyCfg.BruteForce {
 		if phyCfg.ReindexInterval <= 0 {
@@ -87,17 +81,25 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 		phyCfg.Static = bound == 0
 	}
+	w := &World{
+		Eng:       sim.NewEngineQueue(phyCfg.Scheduler),
+		Collector: stats.NewCollector(),
+		Oracle:    cfg.Oracle,
+		Tracer:    cfg.Tracer,
+	}
 	w.Channel = phy.NewChannelWithConfig(w.Eng, cfg.Radio, phyCfg)
+	// One flattened position table for the whole population, precomputed
+	// off the event loop: the channel reads (and batch-refreshes) positions
+	// from struct-of-arrays state with Cursor's exact memoised semantics,
+	// instead of chasing one cursor object per node mid-dispatch.
+	w.Channel.SetPositionTable(mobility.NewTable(cfg.Tracks))
 	root := sim.NewRNG(cfg.Seed)
 	for i, tr := range cfg.Tracks {
 		id := pkt.NodeID(i)
 		n := &Node{id: id, world: w, Track: tr}
 		nodeRNG := root.Fork(int64(i))
 		n.rng = nodeRNG.ForkNamed("proto")
-		// The cursor memoises the track lookup per virtual timestamp, so
-		// a position is computed at most once per event no matter how
-		// many transmissions probe this node.
-		n.Radio = w.Channel.AttachRadio(id, mobility.NewCursor(tr).At, nil)
+		n.Radio = w.Channel.AttachRadio(id, nil, nil)
 		n.Mac = mac.New(w.Eng, id, n.Radio, n, nodeRNG.ForkNamed("mac"), cfg.Mac)
 		n.Radio.SetReceiver(n.Mac)
 		n.Proto = cfg.Protocol(id)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
 	"adhocsim/internal/pkt"
 	"adhocsim/internal/sim"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// misjudges dense multihop scenes where many individually-weak
 	// interferers are collectively fatal (Fu, Liew & Huang).
 	SINR bool
+	// Scheduler selects the engine's event-queue implementation for runs
+	// assembled through network.NewWorld: the zero value keeps the 4-ary
+	// heap, sim.QueueCalendar switches to the calendar queue (O(1)
+	// amortized at city-scale pending-event populations). Dispatch order —
+	// and therefore every result — is bit-identical either way; the
+	// choice is purely a performance knob.
+	Scheduler sim.QueueKind
 }
 
 // Channel is the shared wireless medium. It connects all radios of a run and
@@ -74,6 +82,17 @@ type Channel struct {
 	cfg      Config
 	radios   []*Radio        // indexed by NodeID
 	linkProp LinkPropagation // params.Prop when it is link/reception dependent, else nil
+	tab      *mobility.Table // flat position source (nil → per-radio pos funcs)
+
+	// Per-radio hot state, flattened struct-of-arrays style and indexed by
+	// NodeID. Every arrival touches a radio's deadlines (and, under SINR,
+	// its interference accumulator); keeping them in four dense arrays
+	// instead of scattered *Radio fields keeps a 10k-node scene's working
+	// set cache-resident through the event loop.
+	txUntil   []sim.Time // transmitting until (zero: idle)
+	busyUntil []sim.Time // medium observed busy until (any arrival ≥ CS, or own tx)
+	airPower  []float64  // SINR mode: summed power of every in-air arrival
+	airCount  []int32    // SINR mode: in-air arrival count (exact-zero reset)
 
 	grid        *geo.FlatGrid
 	lastIndex   sim.Time // virtual time of the last reindex
@@ -117,14 +136,46 @@ func (c *Channel) Params() RadioParams { return c.params }
 
 // AttachRadio creates and registers the radio for node id. Radios must be
 // attached in id order starting from 0. pos reports the node's position at
-// any virtual time (typically a mobility cursor lookup).
+// any virtual time (typically a mobility cursor lookup); it may be nil when
+// a position table is installed (SetPositionTable), which then serves every
+// lookup for this radio.
 func (c *Channel) AttachRadio(id pkt.NodeID, pos func(sim.Time) geo.Point, rcv Receiver) *Radio {
 	if int(id) != len(c.radios) {
 		panic(fmt.Sprintf("phy: radios must be attached densely; got id %v with %d attached", id, len(c.radios)))
 	}
+	if pos == nil && (c.tab == nil || int(id) >= c.tab.Len()) {
+		panic(fmt.Sprintf("phy: radio %v attached with nil pos and no position table covering it", id))
+	}
 	r := &Radio{id: id, ch: c, pos: pos, rcv: rcv}
 	c.radios = append(c.radios, r)
+	c.txUntil = append(c.txUntil, 0)
+	c.busyUntil = append(c.busyUntil, 0)
+	c.airPower = append(c.airPower, 0)
+	c.airCount = append(c.airCount, 0)
 	return r
+}
+
+// SetPositionTable installs a flattened position source covering every node
+// (NodeID = table index). With a table the channel reads positions straight
+// out of struct-of-arrays state — and refreshes them in one batch sweep per
+// reindex — instead of calling one closure per radio per probe. Install
+// before attaching radios that pass a nil pos.
+func (c *Channel) SetPositionTable(tab *mobility.Table) {
+	if tab != nil && tab.Len() < len(c.radios) {
+		panic(fmt.Sprintf("phy: position table covers %d nodes, %d radios attached", tab.Len(), len(c.radios)))
+	}
+	c.tab = tab
+}
+
+// posAt returns radio id's position at time t from the position table when
+// one is installed, else from the radio's own position function. Both paths
+// memoise per (node, timestamp), so the exact per-leg position lookups in
+// propagate stay O(1) after the first probe of an event's timestamp.
+func (c *Channel) posAt(id pkt.NodeID, t sim.Time) geo.Point {
+	if c.tab != nil {
+		return c.tab.At(int(id), t)
+	}
+	return c.radios[id].pos(t)
 }
 
 // Radio returns the radio attached for id.
@@ -164,8 +215,14 @@ func (c *Channel) reindex(now sim.Time) {
 		c.pts = make([]geo.Point, len(c.radios))
 	}
 	c.pts = c.pts[:len(c.radios)]
-	for i, r := range c.radios {
-		c.pts[i] = r.pos(now)
+	if c.tab != nil {
+		// Batch refresh: one linear sweep over the flattened segment
+		// arena, instead of one indirect pos call per radio.
+		c.tab.Positions(now, c.pts)
+	} else {
+		for i, r := range c.radios {
+			c.pts[i] = r.pos(now)
+		}
 	}
 	c.grid.Rebuild(c.pts)
 	c.lastIndex = now
@@ -195,7 +252,7 @@ func (c *Channel) needReindex(now sim.Time) bool {
 func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
 	now := c.eng.Now()
 	c.Transmissions++
-	from := r.pos(now)
+	from := c.posAt(r.id, now)
 	if c.cfg.BruteForce {
 		for _, o := range c.radios {
 			if o == r {
@@ -259,7 +316,7 @@ func (c *Channel) legPower(sender, o *Radio, d float64) float64 {
 // propagate delivers one transmission leg sender→o if the received power
 // clears the carrier-sense threshold.
 func (c *Channel) propagate(sender, o *Radio, from geo.Point, payload any, dur sim.Duration, now sim.Time) {
-	d := o.pos(now).Dist(from)
+	d := c.posAt(o.id, now).Dist(from)
 	power := c.legPower(sender, o, d)
 	if power < c.params.CSThreshold {
 		return
@@ -280,6 +337,6 @@ func (c *Channel) propagate(sender, o *Radio, from geo.Point, payload any, dur s
 // Stochastic models are judged at their nominal power — connectivity
 // oracles reason about the median link, not individual draws.
 func (c *Channel) InRange(a, b pkt.NodeID, at sim.Time) bool {
-	d := c.radios[a].pos(at).Dist(c.radios[b].pos(at))
+	d := c.posAt(a, at).Dist(c.posAt(b, at))
 	return c.params.Prop.RxPower(c.params.TxPower, d) >= c.params.RxThreshold
 }

@@ -28,18 +28,17 @@ type arrival struct {
 type Radio struct {
 	id  pkt.NodeID
 	ch  *Channel
-	pos func(sim.Time) geo.Point
+	pos func(sim.Time) geo.Point // nil when the channel's position table serves this radio
 	rcv Receiver
 
-	txUntil   sim.Time
-	busyUntil sim.Time // medium observed busy (any arrival ≥ CS threshold, or own tx)
-	rx        *arrival // reception in progress, if any
+	// The per-arrival hot state — tx/busy deadlines and the SINR-mode
+	// interference accumulators (summed in-air power plus an arrival count
+	// so the float sum resets exactly when the air clears) — lives in the
+	// channel's flat per-NodeID arrays (Channel.txUntil and friends), not
+	// here: arrivals fan out across many radios per transmission, and the
+	// dense arrays keep that scatter cache-resident at 10k nodes.
 
-	// SINR-mode interference tracking: the summed power of every arrival
-	// currently on air at this radio (signal included), and the arrival
-	// count so the float sum can be reset exactly when the air clears.
-	airPower float64
-	airCount int
+	rx *arrival // reception in progress, if any
 
 	watchdogArmed bool
 	watchdogFn    sim.EventFunc // cached method value (armed per busy edge)
@@ -61,31 +60,32 @@ func (r *Radio) ID() pkt.NodeID { return r.id }
 func (r *Radio) SetReceiver(rcv Receiver) { r.rcv = rcv }
 
 // Position returns the node position at time t.
-func (r *Radio) Position(t sim.Time) geo.Point { return r.pos(t) }
+func (r *Radio) Position(t sim.Time) geo.Point { return r.ch.posAt(r.id, t) }
 
 // Busy reports physical carrier sense: the medium is busy at this radio.
 func (r *Radio) Busy() bool {
 	now := r.ch.eng.Now()
-	return now < r.txUntil || now < r.busyUntil
+	return now < r.ch.txUntil[r.id] || now < r.ch.busyUntil[r.id]
 }
 
 // BusyUntil returns the earliest time the medium could become idle given
 // current knowledge (later arrivals may extend it).
 func (r *Radio) BusyUntil() sim.Time {
-	if r.txUntil > r.busyUntil {
-		return r.txUntil
+	tx, busy := r.ch.txUntil[r.id], r.ch.busyUntil[r.id]
+	if tx > busy {
+		return tx
 	}
-	return r.busyUntil
+	return busy
 }
 
 // Transmitting reports whether the radio is mid-transmission.
-func (r *Radio) Transmitting() bool { return r.ch.eng.Now() < r.txUntil }
+func (r *Radio) Transmitting() bool { return r.ch.eng.Now() < r.ch.txUntil[r.id] }
 
 // Transmit puts a frame on the air for dur. The MAC must not call this while
 // a previous transmission is still in progress.
 func (r *Radio) Transmit(payload any, dur sim.Duration) {
 	now := r.ch.eng.Now()
-	if now < r.txUntil {
+	if now < r.ch.txUntil[r.id] {
 		panic("phy: Transmit while already transmitting")
 	}
 	// Half-duplex: transmitting destroys any reception in progress.
@@ -93,8 +93,9 @@ func (r *Radio) Transmit(payload any, dur sim.Duration) {
 		r.rx.corrupted = true
 	}
 	r.TxFrames++
-	r.txUntil = now.Add(dur)
-	r.extendBusy(r.txUntil)
+	until := now.Add(dur)
+	r.ch.txUntil[r.id] = until
+	r.extendBusy(until)
 	r.ch.transmit(r, payload, dur)
 }
 
@@ -108,7 +109,7 @@ func (r *Radio) beginArrival(a arrival) {
 		return
 	}
 
-	if now < r.txUntil {
+	if now < r.ch.txUntil[r.id] {
 		// Receiving while transmitting is impossible; the energy still
 		// occupied the medium (busy already extended).
 		return
@@ -156,7 +157,7 @@ func (r *Radio) beginArrival(a arrival) {
 func (r *Radio) beginArrivalSINR(a arrival, now sim.Time) {
 	r.addAir(a.power, a.end)
 
-	if now < r.txUntil {
+	if now < r.ch.txUntil[r.id] {
 		// Receiving while transmitting is impossible; the energy still
 		// occupied the medium and still counts as interference for
 		// frames arriving after our transmission ends.
@@ -168,7 +169,7 @@ func (r *Radio) beginArrivalSINR(a arrival, now sim.Time) {
 	if cur := r.rx; cur != nil && !cur.corrupted && cur.end > now {
 		// airPower includes the current signal itself; everything else
 		// competes with it, the newcomer included.
-		if cur.power >= ratio*(noise+r.airPower-cur.power) {
+		if cur.power >= ratio*(noise+r.ch.airPower[r.id]-cur.power) {
 			// The reception rides out the extra interference.
 			r.Captured++
 			r.ch.Captures++
@@ -189,7 +190,7 @@ func (r *Radio) tryStartSINR(a arrival, ratio, noise float64) {
 	if a.power < r.ch.params.RxThreshold {
 		return
 	}
-	if interf := noise + r.airPower - a.power; a.power < ratio*interf {
+	if interf := noise + r.ch.airPower[r.id] - a.power; a.power < ratio*interf {
 		return
 	}
 	r.startReception(a)
@@ -214,24 +215,25 @@ func (c *Channel) allocAir() *airEvent {
 	ae := &airEvent{}
 	ae.fire = func() {
 		r := ae.r
-		r.airCount--
-		if r.airCount == 0 {
+		ch := r.ch
+		ch.airCount[r.id]--
+		if ch.airCount[r.id] == 0 {
 			// Reset exactly: float subtraction of every departure would
 			// otherwise leave residue that drifts across a long run.
-			r.airPower = 0
+			ch.airPower[r.id] = 0
 		} else {
-			r.airPower -= ae.power
+			ch.airPower[r.id] -= ae.power
 		}
 		ae.r = nil
-		r.ch.airPool = append(r.ch.airPool, ae)
+		ch.airPool = append(ch.airPool, ae)
 	}
 	return ae
 }
 
 // addAir adds an arrival's power to the in-air sum until end.
 func (r *Radio) addAir(power float64, end sim.Time) {
-	r.airCount++
-	r.airPower += power
+	r.ch.airCount[r.id]++
+	r.ch.airPower[r.id] += power
 	ae := r.ch.allocAir()
 	ae.r = r
 	ae.power = power
@@ -282,7 +284,7 @@ func (r *Radio) finishReception(a *arrival) {
 	}
 	// A transmission that started mid-reception corrupts it (also handled
 	// in Transmit, but guard against exact-tie orderings).
-	if r.ch.eng.Now() < r.txUntil {
+	if r.ch.eng.Now() < r.ch.txUntil[r.id] {
 		return
 	}
 	r.RxFrames++
@@ -296,8 +298,8 @@ func (r *Radio) finishReception(a *arrival) {
 // notifications to the MAC.
 func (r *Radio) extendBusy(until sim.Time) {
 	now := r.ch.eng.Now()
-	if until > r.busyUntil {
-		r.busyUntil = until
+	if until > r.ch.busyUntil[r.id] {
+		r.ch.busyUntil[r.id] = until
 	}
 	if !r.notifiedBusy && r.BusyUntil() > now {
 		r.notifiedBusy = true

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// queueKinds enumerates every event-queue implementation; dispatch-order
+// tests run against all of them.
+var queueKinds = []QueueKind{QueueHeap, QueueCalendar}
+
+func TestCalendarEngineBasics(t *testing.T) {
+	t.Run("order", func(t *testing.T) {
+		e := NewEngineQueue(QueueCalendar)
+		var got []int
+		e.Schedule(At(3), func() { got = append(got, 3) })
+		e.Schedule(At(1), func() { got = append(got, 1) })
+		e.Schedule(At(2), func() { got = append(got, 2) })
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []int{1, 2, 3} {
+			if got[i] != want {
+				t.Fatalf("order = %v", got)
+			}
+		}
+	})
+	t.Run("fifo-ties", func(t *testing.T) {
+		e := NewEngineQueue(QueueCalendar)
+		var got []int
+		for i := 0; i < 50; i++ {
+			i := i
+			e.Schedule(At(1), func() { got = append(got, i) })
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != i {
+				t.Fatalf("equal-time events not FIFO: %v", got)
+			}
+		}
+	})
+	t.Run("cancel", func(t *testing.T) {
+		e := NewEngineQueue(QueueCalendar)
+		var fired []int
+		e.Schedule(At(1), func() { fired = append(fired, 1) })
+		h := e.Schedule(At(2), func() { fired = append(fired, 2) })
+		e.Schedule(At(3), func() { fired = append(fired, 3) })
+		if !e.Cancel(h) {
+			t.Fatal("cancel of pending event failed")
+		}
+		if e.Cancel(h) {
+			t.Fatal("double cancel succeeded")
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+			t.Fatalf("fired = %v, want [1 3]", fired)
+		}
+	})
+	t.Run("horizon-resume", func(t *testing.T) {
+		e := NewEngineQueue(QueueCalendar)
+		var fired []int
+		e.Schedule(At(1), func() { fired = append(fired, 1) })
+		e.Schedule(At(5), func() { fired = append(fired, 5) })
+		if err := e.Run(At(2)); err != nil {
+			t.Fatal(err)
+		}
+		if len(fired) != 1 || e.Len() != 1 {
+			t.Fatalf("after first phase: fired %v, pending %d", fired, e.Len())
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if len(fired) != 2 || fired[1] != 5 {
+			t.Fatalf("fired = %v, want [1 5]", fired)
+		}
+	})
+	t.Run("sparse-far-future", func(t *testing.T) {
+		// Events separated by hours of empty days exercise the
+		// jump-to-minimum path instead of a day-by-day cursor crawl.
+		e := NewEngineQueue(QueueCalendar)
+		var got []Time
+		for _, s := range []float64{0.001, 3600, 7 * 3600, 100 * 3600} {
+			at := At(s)
+			e.Schedule(at, func() { got = append(got, e.Now()) })
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("non-monotone dispatch: %v", got)
+			}
+		}
+		if len(got) != 4 {
+			t.Fatalf("fired %d events, want 4", len(got))
+		}
+	})
+	t.Run("resize-grow-shrink", func(t *testing.T) {
+		// Push far past the grow threshold, then drain past the shrink
+		// threshold; order must hold across both rebuilds.
+		e := NewEngineQueue(QueueCalendar)
+		rng := rand.New(rand.NewSource(7))
+		const n = 5000
+		var got []Time
+		for i := 0; i < n; i++ {
+			at := Time(rng.Int63n(int64(10 * Second)))
+			e.Schedule(at, func() { got = append(got, e.Now()) })
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("fired %d events, want %d", len(got), n)
+		}
+		for i := 1; i < n; i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("non-monotone dispatch at %d: %v then %v", i, got[i-1], got[i])
+			}
+		}
+	})
+}
+
+// queueFiring is one dispatched event as observed by the equivalence fuzz:
+// the event's creation id plus the clock at dispatch. Ids are assigned in
+// Schedule order, so equal id sequences mean equal (at, seq) sequences.
+type queueFiring struct {
+	id int
+	at Time
+}
+
+// runQueueScript drives one engine through a seeded random script:
+// an initial event population with deliberate timestamp ties, then
+// rng-driven actions from inside firing events — nested schedules, cancels
+// of live and stale handles, reschedules. The rng is consumed in dispatch
+// order, so two engines replaying the same seed stay action-identical
+// exactly as long as their dispatch orders agree — any divergence shows up
+// in the returned firing log.
+func runQueueScript(t *testing.T, kind QueueKind, seed int64) []queueFiring {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngineQueue(kind)
+	var log []queueFiring
+	var handles []Handle
+	nextID := 0
+	var schedule func(at Time)
+	schedule = func(at Time) {
+		id := nextID
+		nextID++
+		h := e.Schedule(at, func() {
+			log = append(log, queueFiring{id: id, at: e.Now()})
+			if nextID < 4000 {
+				switch rng.Intn(5) {
+				case 0: // burst of near-future events, clustered timestamps
+					base := e.Now() + Time(rng.Int63n(int64(50*Millisecond)))
+					for k := 0; k < 1+rng.Intn(3); k++ {
+						schedule(base) // exact ties across separate schedules
+					}
+				case 1: // spread-out future event
+					schedule(e.Now() + Time(rng.Int63n(int64(20*Second))))
+				case 2: // cancel a random (possibly stale) handle
+					if len(handles) > 0 {
+						e.Cancel(handles[rng.Intn(len(handles))])
+					}
+				case 3: // reschedule: cancel then re-issue later
+					if len(handles) > 0 {
+						h := handles[rng.Intn(len(handles))]
+						if e.Cancel(h) {
+							schedule(e.Now() + Time(rng.Int63n(int64(Second))))
+						}
+					}
+				}
+			}
+		})
+		handles = append(handles, h)
+	}
+	for i := 0; i < 300; i++ {
+		at := Time(rng.Int63n(int64(2 * Second)))
+		schedule(at)
+		if rng.Intn(4) == 0 {
+			schedule(at) // seed (at, seq) ties in the initial population too
+		}
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestQueueEquivalenceFuzz is the randomized heap-vs-calendar scheduler
+// equivalence guard: for many seeded random schedule/cancel/reschedule
+// scripts, both queue implementations must dispatch the identical (at, seq)
+// sequence. This is the property that makes the calendar queue safe to
+// enable on any scenario — bit-identical results follow from identical
+// dispatch order.
+func TestQueueEquivalenceFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		heapLog := runQueueScript(t, QueueHeap, seed)
+		calLog := runQueueScript(t, QueueCalendar, seed)
+		if len(heapLog) != len(calLog) {
+			t.Fatalf("seed %d: heap fired %d events, calendar %d", seed, len(heapLog), len(calLog))
+		}
+		for i := range heapLog {
+			if heapLog[i] != calLog[i] {
+				t.Fatalf("seed %d: dispatch diverges at %d: heap %+v, calendar %+v",
+					seed, i, heapLog[i], calLog[i])
+			}
+		}
+		if len(heapLog) < 300 {
+			t.Fatalf("seed %d: script fired only %d events — not exercising the queues", seed, len(heapLog))
+		}
+	}
+}
+
+// TestEngineFreeListCapped: recycling must stop growing the free list at
+// maxFreeEvents, so a burst's peak event population is not pinned in memory
+// for the rest of the run.
+func TestEngineFreeListCapped(t *testing.T) {
+	for _, kind := range queueKinds {
+		e := NewEngineQueue(kind)
+		n := maxFreeEvents + 5000
+		for i := 0; i < n; i++ {
+			e.Schedule(Time(i), func() {})
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if len(e.free) > maxFreeEvents {
+			t.Fatalf("%v: free list holds %d events, cap is %d", kind, len(e.free), maxFreeEvents)
+		}
+		if len(e.free) != maxFreeEvents {
+			t.Fatalf("%v: free list holds %d events after an over-cap burst, want exactly %d",
+				kind, len(e.free), maxFreeEvents)
+		}
+	}
+}
+
+func TestParseQueueKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want QueueKind
+		ok   bool
+	}{
+		{"", QueueHeap, true},
+		{"heap", QueueHeap, true},
+		{"Calendar", QueueCalendar, true},
+		{" calendar ", QueueCalendar, true},
+		{"ladder", 0, false},
+	} {
+		got, err := ParseQueueKind(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseQueueKind(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if QueueHeap.String() != "heap" || QueueCalendar.String() != "calendar" {
+		t.Errorf("String() = %q, %q", QueueHeap, QueueCalendar)
+	}
+}

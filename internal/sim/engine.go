@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // EventFunc is the body of a scheduled event. It runs with the engine clock
 // set to the event's timestamp.
@@ -21,7 +24,65 @@ type event struct {
 	seq uint64 // tie-breaker: FIFO among equal timestamps, and determinism
 	gen uint64 // incremented on recycle; validates Handles
 	fn  EventFunc
-	idx int // heap index, -1 once popped
+	idx int // queue-internal position (≥0 while queued), -1 once popped
+}
+
+// eventBefore is the strict total order every queue implementation must
+// dispatch in: timestamp first, then scheduling sequence. Because no two
+// events share (at, seq), any correct implementation of eventQueue yields
+// the same dispatch sequence — determinism does not depend on the queue
+// shape, which is what lets the calendar queue replace the heap without
+// perturbing a single result bit.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is the engine's pluggable priority queue. Implementations
+// must dispatch in eventBefore order, keep ev.idx ≥ 0 while an event is
+// queued and set it to -1 on pop/remove (Cancel keys off that), and return
+// nil from peek/popMin when empty.
+type eventQueue interface {
+	push(ev *event)
+	peek() *event
+	popMin() *event
+	remove(ev *event)
+	size() int
+}
+
+// QueueKind selects an eventQueue implementation for a new Engine.
+type QueueKind uint8
+
+const (
+	// QueueHeap is the default 4-ary min-heap: O(log n) per operation,
+	// unbeatable constants at the study's 25–500 node populations.
+	QueueHeap QueueKind = iota
+	// QueueCalendar is the calendar queue (Brown 1988): O(1) amortized
+	// insert/pop, the better fit for city-scale runs whose pending-event
+	// populations reach the tens of thousands.
+	QueueCalendar
+)
+
+// String renders the kind as its ParseQueueKind spelling.
+func (k QueueKind) String() string {
+	if k == QueueCalendar {
+		return "calendar"
+	}
+	return "heap"
+}
+
+// ParseQueueKind resolves a queue-kind name ("heap", "calendar"; the empty
+// string selects the default heap).
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "heap":
+		return QueueHeap, nil
+	case "calendar":
+		return QueueCalendar, nil
+	}
+	return 0, fmt.Errorf("sim: unknown event-queue kind %q (want heap or calendar)", s)
 }
 
 // eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). Heap
@@ -47,9 +108,25 @@ func (h *eventHeap) push(ev *event) {
 	h.siftUp(ev.idx)
 }
 
-// popMin removes and returns the minimum event.
+// peek returns the minimum event without removing it (nil when empty).
+func (h *eventHeap) peek() *event {
+	if len(*h) == 0 {
+		return nil
+	}
+	return (*h)[0]
+}
+
+func (h *eventHeap) size() int { return len(*h) }
+
+// remove unlinks a queued event (for cancellation).
+func (h *eventHeap) remove(ev *event) { h.removeAt(ev.idx) }
+
+// popMin removes and returns the minimum event (nil when empty).
 func (h *eventHeap) popMin() *event {
 	old := *h
+	if len(old) == 0 {
+		return nil
+	}
 	ev := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
@@ -122,7 +199,7 @@ func (h eventHeap) siftDown(i int) {
 // concurrent use; run one Engine per goroutine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   eventQueue
 	nextSeq uint64
 	free    []*event // recycled event structs (see alloc/recycle)
 	stopped bool
@@ -143,16 +220,28 @@ type Engine struct {
 	InterruptEvery uint64
 }
 
-// NewEngine returns an empty engine with the clock at time zero.
-func NewEngine() *Engine {
-	return &Engine{}
+// NewEngine returns an empty engine with the clock at time zero and the
+// default heap event queue.
+func NewEngine() *Engine { return NewEngineQueue(QueueHeap) }
+
+// NewEngineQueue returns an empty engine using the given event-queue
+// implementation. Either kind dispatches the exact same (at, seq) sequence;
+// the choice is purely a performance trade-off (see QueueKind).
+func NewEngineQueue(kind QueueKind) *Engine {
+	e := &Engine{}
+	if kind == QueueCalendar {
+		e.queue = newCalQueue()
+	} else {
+		e.queue = new(eventHeap)
+	}
+	return e
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Len returns the number of pending (non-cancelled) events.
-func (e *Engine) Len() int { return len(e.queue) }
+func (e *Engine) Len() int { return e.queue.size() }
 
 // alloc takes an event struct from the free list, or heap-allocates one.
 // Pooling matters at scale: every transmission, timer and MAC slot is one
@@ -168,14 +257,24 @@ func (e *Engine) alloc() *event {
 	return &event{}
 }
 
+// maxFreeEvents caps the recycled-event free list. Without a cap the list
+// grows to the run's peak pending-event count and stays there: one
+// burst-heavy phase (a broadcast storm fanning out to a 10k-node
+// neighbourhood) would pin that peak's memory for the rest of a long run.
+// Structs recycled beyond the cap are released to the GC instead; their
+// bumped generation still invalidates outstanding Handles.
+const maxFreeEvents = 1 << 15
+
 // recycle returns an event struct to the free list. The caller must have
-// removed it from the heap. Bumping the generation invalidates outstanding
+// removed it from the queue. Bumping the generation invalidates outstanding
 // Handles; dropping the closure reference keeps recycled events from
 // pinning captured memory (the remaining fields are overwritten on reuse).
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
-	e.free = append(e.free, ev)
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
 }
 
 // Schedule runs fn at absolute time at. Scheduling in the past (before Now)
@@ -206,7 +305,7 @@ func (e *Engine) Cancel(h Handle) bool {
 	if ev == nil || ev.gen != h.gen || ev.idx < 0 {
 		return false
 	}
-	e.queue.removeAt(ev.idx)
+	e.queue.remove(ev)
 	e.recycle(ev)
 	return true
 }
@@ -223,9 +322,9 @@ func (e *Engine) Run(until Time) error {
 	if every == 0 {
 		every = 4096
 	}
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > until {
+	for !e.stopped {
+		ev := e.queue.peek()
+		if ev == nil || ev.at > until {
 			break
 		}
 		e.queue.popMin()

@@ -1,0 +1,73 @@
+package adhocsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"adhocsim"
+)
+
+// TestSchedulerParityGoldenRuns: the calendar-queue scheduler must
+// reproduce the heap's golden DSR/AODV seed-1 study runs bit-for-bit.
+// TestSeedParityDefaultStudyRuns pins the heap results to the captured
+// golden numbers, so DeepEqual here transitively pins the calendar queue to
+// them too — (at, seq) is a strict total order, and a queue implementation
+// that dispatches it faithfully cannot perturb a single counter or float.
+func TestSchedulerParityGoldenRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 150 s study runs")
+	}
+	spec := adhocsim.DefaultSpec()
+	spec.Duration = 150 * adhocsim.Second
+	for _, proto := range []string{adhocsim.DSR, adhocsim.AODV} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			heap, err := adhocsim.Run(adhocsim.RunConfig{Spec: spec, Protocol: proto, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cal, err := adhocsim.Run(adhocsim.RunConfig{
+				Spec: spec, Protocol: proto, Seed: 1,
+				Phy: adhocsim.PhyConfig{Scheduler: adhocsim.QueueCalendar},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(heap, cal) {
+				t.Fatalf("calendar queue diverges from heap:\nheap     %+v\ncalendar %+v", heap, cal)
+			}
+		})
+	}
+}
+
+// TestSchedulerParityGridBrute extends the grid-vs-brute parity suite
+// across the scheduler axis: the spatial-index transmit path under the
+// calendar queue must match the brute-force path under the heap — two runs
+// sharing neither the receiver-candidate enumeration nor the event-queue
+// shape, equal only because both respect the same dispatch order and the
+// same exact per-leg power test.
+func TestSchedulerParityGridBrute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 60 s study runs")
+	}
+	spec := adhocsim.DefaultSpec()
+	spec.Duration = 60 * adhocsim.Second
+	brute, err := adhocsim.Run(adhocsim.RunConfig{
+		Spec: spec, Protocol: adhocsim.DSR, Seed: 1,
+		Phy: adhocsim.PhyConfig{BruteForce: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridCal, err := adhocsim.Run(adhocsim.RunConfig{
+		Spec: spec, Protocol: adhocsim.DSR, Seed: 1,
+		Phy: adhocsim.PhyConfig{Scheduler: adhocsim.QueueCalendar},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(brute, gridCal) {
+		t.Fatalf("grid+calendar diverges from brute+heap:\nbrute    %+v\ngrid/cal %+v", brute, gridCal)
+	}
+}
