@@ -10,6 +10,7 @@ package adhocsim_test
 
 import (
 	"context"
+	"io"
 	"math"
 	"runtime"
 	"testing"
@@ -454,6 +455,74 @@ func TestLargeNAllocationBudget(t *testing.T) {
 	const budget = 2_000_000
 	if mallocs > budget {
 		t.Fatalf("large-N run performed %d heap allocations, budget %d", mallocs, budget)
+	}
+}
+
+// largeNSinks is one of every production metric sink: quantile sketches on
+// delay and hops, a 60-bucket time series, per-kind Welford cells, and a
+// JSONL dump to io.Discard. Matches what campaign execution attaches plus
+// the stream dump, so the benchmark prices the full streaming tap.
+func largeNSinks(spec adhocsim.Spec) []adhocsim.MetricSink {
+	return []adhocsim.MetricSink{
+		adhocsim.NewSketchSink(100, adhocsim.MetricDelaySec, adhocsim.MetricHops),
+		adhocsim.NewWindowSink(spec.Duration, 60),
+		adhocsim.NewWelfordSink(),
+		adhocsim.NewJSONLSink(io.Discard),
+	}
+}
+
+// BenchmarkSingleRunLargeNMetrics is the 200-node spatial-index run with the
+// full sink set attached; the ns/op delta against BenchmarkSingleRunLargeN
+// prices the streaming-metrics tap on the event hot path.
+func BenchmarkSingleRunLargeNMetrics(b *testing.B) {
+	spec := largeNSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := adhocsim.Run(adhocsim.RunConfig{
+			Spec:     spec,
+			Protocol: adhocsim.CBRP,
+			Seed:     1,
+			Phy:      adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second},
+			Sinks:    largeNSinks(spec),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RoutingTxPackets == 0 {
+			b.Fatal("large-N run produced no beacon traffic")
+		}
+	}
+}
+
+// TestLargeNAllocationBudgetAllSinks holds the sinked run to the same budget
+// as the sinkless one: every sink is bounded (sketch centroids are capped,
+// the window has fixed buckets, the JSONL writer reuses its encode buffer),
+// so attaching them must not introduce per-event allocation.
+func TestLargeNAllocationBudgetAllSinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one 900 s large-N run")
+	}
+	spec := largeNSpec()
+	sinks := largeNSinks(spec)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := adhocsim.Run(adhocsim.RunConfig{
+		Spec: spec, Protocol: adhocsim.CBRP, Seed: 1,
+		Phy:   adhocsim.PhyConfig{ReindexInterval: 5 * sim.Second},
+		Sinks: sinks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if res.RoutingTxPackets == 0 {
+		t.Fatal("large-N run produced no beacon traffic")
+	}
+	mallocs := after.Mallocs - before.Mallocs
+	const budget = 2_000_000 // same cap as TestLargeNAllocationBudget
+	if mallocs > budget {
+		t.Fatalf("sinked large-N run performed %d heap allocations, budget %d", mallocs, budget)
 	}
 }
 

@@ -303,9 +303,25 @@ func runSmoke(srv *adhocsim.DistServer) error {
 		if cell.Reps != 2 || cell.Merged.DataSent == 0 {
 			return fmt.Errorf("degenerate cell: %+v", cell)
 		}
+		// The streaming pipeline must surface per-packet percentiles in the
+		// HTTP results JSON, monotone and covering every delivered packet.
+		q, ok := cell.Quantiles["delay"]
+		if !ok {
+			return fmt.Errorf("cell %s has no delay quantiles", cell.Label)
+		}
+		if q.Count != float64(cell.Merged.DataDelivered) {
+			return fmt.Errorf("cell %s delay sketch count %v != delivered %d",
+				cell.Label, q.Count, cell.Merged.DataDelivered)
+		}
+		if !(q.P50 > 0 && q.P50 <= q.P95 && q.P95 <= q.P99) {
+			return fmt.Errorf("cell %s percentiles not monotone: %+v", cell.Label, q)
+		}
+		if cell.Series == nil || len(cell.Series.Counts) == 0 {
+			return fmt.Errorf("cell %s has no time series", cell.Label)
+		}
 		pdr := cell.Metrics["pdr"]
-		fmt.Fprintf(os.Stderr, "adhocd: smoke %-6s pdr %.1f%% ±%.1f (n=%d)\n",
-			cell.Protocol, pdr.Mean, pdr.CI95, pdr.N)
+		fmt.Fprintf(os.Stderr, "adhocd: smoke %-6s pdr %.1f%% ±%.1f (n=%d), delay p50/p95/p99 %.2f/%.2f/%.2f ms\n",
+			cell.Protocol, pdr.Mean, pdr.CI95, pdr.N, q.P50*1e3, q.P95*1e3, q.P99*1e3)
 	}
 
 	req, _ := http.NewRequest(http.MethodDelete, base+"/campaigns/"+created.ID, nil)

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"adhocsim"
+	"adhocsim/internal/metrics"
 	"adhocsim/internal/trace"
 )
 
@@ -106,28 +107,29 @@ func runCampaign(specPath, checkpoint string, workers int) {
 
 func main() {
 	var (
-		proto     = flag.String("proto", adhocsim.DSR, "routing protocol: "+strings.Join(adhocsim.RegisteredProtocols(), ", "))
-		nodes     = flag.Int("nodes", 40, "number of nodes")
-		areaW     = flag.Float64("w", 1500, "area width (m)")
-		areaH     = flag.Float64("h", 300, "area height (m)")
-		pause     = flag.Float64("pause", 0, "random-waypoint pause time (s)")
-		speed     = flag.Float64("speed", 20, "maximum node speed (m/s)")
-		sources   = flag.Int("sources", 10, "number of CBR connections")
-		rate      = flag.Float64("rate", 4, "packets per second per connection")
-		payload   = flag.Int("payload", 64, "payload bytes per packet")
-		dur       = flag.Float64("dur", 150, "simulated duration (s)")
-		txRange   = flag.Float64("range", 250, "radio range (m)")
-		mobility  = flag.String("mobility", "", "mobility model, optionally with parameters (\"gauss-markov,alpha=0.85\"); models: "+strings.Join(adhocsim.RegisteredMobilityModels(), ", "))
-		traffic   = flag.String("traffic", "", "traffic model, optionally with parameters (\"expoo,on_s=0.5\"); models: "+strings.Join(adhocsim.RegisteredTrafficModels(), ", "))
-		radio     = flag.String("radio", "", "radio model, optionally with parameters (\"shadowing,sigma_db=6\"); models: "+strings.Join(adhocsim.RegisteredRadioModels(), ", "))
-		sinr      = flag.Bool("sinr", false, "cumulative-interference SINR reception instead of pairwise capture")
-		seed      = flag.Int64("seed", 1, "scenario seed")
-		seeds     = flag.Int("seeds", 1, "number of replication seeds (averaged)")
-		verbose   = flag.Bool("v", false, "print drop census and overhead breakdown")
-		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text")
-		traceFile = flag.String("trace", "", "write an ns-2-style packet trace to this file (single seed only)")
-		brute     = flag.Bool("brute", false, "disable the spatial-index transmit path (legacy O(N) loop)")
-		scheduler = flag.String("scheduler", "", "event-queue implementation for single runs: heap (default) or calendar")
+		proto       = flag.String("proto", adhocsim.DSR, "routing protocol: "+strings.Join(adhocsim.RegisteredProtocols(), ", "))
+		nodes       = flag.Int("nodes", 40, "number of nodes")
+		areaW       = flag.Float64("w", 1500, "area width (m)")
+		areaH       = flag.Float64("h", 300, "area height (m)")
+		pause       = flag.Float64("pause", 0, "random-waypoint pause time (s)")
+		speed       = flag.Float64("speed", 20, "maximum node speed (m/s)")
+		sources     = flag.Int("sources", 10, "number of CBR connections")
+		rate        = flag.Float64("rate", 4, "packets per second per connection")
+		payload     = flag.Int("payload", 64, "payload bytes per packet")
+		dur         = flag.Float64("dur", 150, "simulated duration (s)")
+		txRange     = flag.Float64("range", 250, "radio range (m)")
+		mobility    = flag.String("mobility", "", "mobility model, optionally with parameters (\"gauss-markov,alpha=0.85\"); models: "+strings.Join(adhocsim.RegisteredMobilityModels(), ", "))
+		traffic     = flag.String("traffic", "", "traffic model, optionally with parameters (\"expoo,on_s=0.5\"); models: "+strings.Join(adhocsim.RegisteredTrafficModels(), ", "))
+		radio       = flag.String("radio", "", "radio model, optionally with parameters (\"shadowing,sigma_db=6\"); models: "+strings.Join(adhocsim.RegisteredRadioModels(), ", "))
+		sinr        = flag.Bool("sinr", false, "cumulative-interference SINR reception instead of pairwise capture")
+		seed        = flag.Int64("seed", 1, "scenario seed")
+		seeds       = flag.Int("seeds", 1, "number of replication seeds (averaged)")
+		verbose     = flag.Bool("v", false, "print drop census and overhead breakdown")
+		asJSON      = flag.Bool("json", false, "emit results as JSON instead of text")
+		traceFile   = flag.String("trace", "", "write an ns-2-style packet trace to this file (single seed only)")
+		metricsFile = flag.String("metrics", "", "dump the metric sample stream as JSONL to this file (single seed only)")
+		brute       = flag.Bool("brute", false, "disable the spatial-index transmit path (legacy O(N) loop)")
+		scheduler   = flag.String("scheduler", "", "event-queue implementation for single runs: heap (default) or calendar")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -226,6 +228,25 @@ func main() {
 		defer func() {
 			if err := w.Err(); err != nil {
 				fmt.Fprintln(os.Stderr, "adhocsim: trace:", err)
+			}
+		}()
+	}
+	if *metricsFile != "" {
+		if *seeds != 1 {
+			fmt.Fprintln(os.Stderr, "adhocsim: -metrics requires -seeds 1")
+			os.Exit(2)
+		}
+		f, err := os.Create(*metricsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adhocsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink := metrics.NewJSONLWriter(f)
+		rc.Sinks = append(rc.Sinks, sink)
+		defer func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "adhocsim: metrics:", err)
 			}
 		}()
 	}

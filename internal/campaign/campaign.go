@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"adhocsim/internal/metrics"
 	"adhocsim/internal/stats"
 )
 
@@ -71,6 +72,14 @@ type CellResult struct {
 	// Metrics maps each catalogue metric to its cross-replication summary,
 	// including the Student-t 95% confidence half-width.
 	Metrics map[string]stats.Summary `json:"metrics"`
+	// Quantiles maps sketched sample kinds ("delay", "hops") to percentile
+	// summaries over every delivered packet of every committed replication —
+	// per-packet distributions, not per-run means. Nil when the cell's runs
+	// carried no stream digests.
+	Quantiles map[string]metrics.QuantileSummary `json:"quantiles,omitempty"`
+	// Series is the bucket-wise sum of the per-run time series of every
+	// committed replication. Nil when runs carried no stream digests.
+	Series *metrics.SeriesState `json:"series,omitempty"`
 }
 
 // Result is the final aggregate of a campaign. It is a pure function of the
@@ -100,6 +109,40 @@ type cellState struct {
 	acc        []stats.Welford // parallel to Plan.Metrics
 	stopped    bool
 	stopReason string
+	// sketches and series aggregate the committed replications' stream
+	// digests, folded strictly in replication order by commitLocked — the
+	// same in-order discipline as acc, so resume and distributed execution
+	// reproduce bit-identical percentiles.
+	sketches map[string]*metrics.Sketch
+	series   *metrics.SeriesState
+}
+
+// foldStreams merges one committed run's stream digest into the cell
+// aggregate. Kinds are independent sketches, so map iteration order does not
+// affect any per-kind result. Returns the first geometry error (impossible
+// for digests produced by the same plan).
+func (cs *cellState) foldStreams(st *metrics.RunStreams) error {
+	if st == nil {
+		return nil
+	}
+	if len(st.Sketches) > 0 && cs.sketches == nil {
+		cs.sketches = make(map[string]*metrics.Sketch, len(st.Sketches))
+	}
+	for name, state := range st.Sketches {
+		if sk := cs.sketches[name]; sk != nil {
+			sk.MergeState(state)
+		} else {
+			cs.sketches[name] = metrics.FromState(state)
+		}
+	}
+	if st.Series != nil {
+		if cs.series == nil {
+			cs.series = st.Series.Clone()
+		} else if err := cs.series.Merge(st.Series); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Campaign executes one expanded Plan. Create with New, run once with Run;
@@ -327,9 +370,16 @@ func (c *Campaign) settle(ctx context.Context) (*Result, error) {
 		for r := 0; r < cs.committed; r++ {
 			reps[r] = *cs.results[r]
 		}
-		metrics := make(map[string]stats.Summary, len(c.plan.Metrics))
+		summaries := make(map[string]stats.Summary, len(c.plan.Metrics))
 		for mi, m := range c.plan.Metrics {
-			metrics[m.Name] = cs.acc[mi].Summary()
+			summaries[m.Name] = cs.acc[mi].Summary()
+		}
+		var quantiles map[string]metrics.QuantileSummary
+		if len(cs.sketches) > 0 {
+			quantiles = make(map[string]metrics.QuantileSummary, len(cs.sketches))
+			for name, sk := range cs.sketches {
+				quantiles[name] = sk.Summary()
+			}
 		}
 		cells[ci] = CellResult{
 			Protocol:   c.plan.Cells[ci].Protocol,
@@ -338,7 +388,9 @@ func (c *Campaign) settle(ctx context.Context) (*Result, error) {
 			Reps:       cs.committed,
 			StopReason: cs.stopReason,
 			Merged:     stats.MergeResults(reps),
-			Metrics:    metrics,
+			Metrics:    summaries,
+			Quantiles:  quantiles,
+			Series:     cs.series,
 		}
 	}
 	labels := c.plan.Labels
@@ -459,6 +511,10 @@ func (c *Campaign) commitLocked(ci int) {
 		r := cs.results[cs.committed]
 		for mi := range c.plan.Metrics {
 			cs.acc[mi].Add(c.plan.Metrics[mi].Value(*r))
+		}
+		if err := cs.foldStreams(r.Streams); err != nil {
+			c.setErrLocked(err)
+			return
 		}
 		cs.committed++
 		if c.epsilonMetLocked(cs) {

@@ -19,7 +19,10 @@ import (
 // journal and re-executing only the missing runs reproduces the
 // uninterrupted campaign bit-for-bit.
 
-const journalVersion = 1
+// journalVersion 2 added serialized stream digests (Results.Streams) to
+// every entry; v1 journals are rejected rather than resumed into results
+// whose percentiles would silently miss the journaled replications.
+const journalVersion = 2
 
 type journalHeader struct {
 	Version  int    `json:"version"`

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"adhocsim/internal/core"
+	"adhocsim/internal/metrics"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
@@ -192,13 +193,26 @@ func (p *Plan) SeedFor(cell, rep int) int64 {
 // function of the plan and the indices — no campaign state — which is what
 // makes a unit executable by any process that expanded the same spec: the
 // distributed worker loop calls it on its own copy of the plan.
+//
+// Every unit runs with stream sinks attached — per-kind quantile sketches
+// and a bucketed time series — and packs their serialized state into
+// Results.Streams, so journal entries and distributed commits carry exactly
+// the state the campaign needs for cross-replication percentiles.
 func (p *Plan) ExecuteUnit(ctx context.Context, cell, rep int) (stats.Results, error) {
 	c := p.Cells[cell]
-	return core.Run(ctx, core.RunConfig{
+	sk := metrics.NewSketchSink(metrics.DefaultCompression, metrics.SketchedKinds...)
+	win := metrics.NewWindow(c.spec.Duration, metrics.DefaultSeriesBuckets)
+	res, err := core.Run(ctx, core.RunConfig{
 		Spec:     c.spec,
 		Protocol: c.Protocol,
 		Seed:     p.SeedFor(cell, rep),
+		Sinks:    []metrics.Sink{sk, win},
 	})
+	if err != nil {
+		return res, err
+	}
+	res.Streams = &metrics.RunStreams{Sketches: sk.States(), Series: win.State()}
+	return res, nil
 }
 
 // UnitKey is the content address of one run unit: a digest of everything
@@ -213,7 +227,11 @@ func (p *Plan) UnitKey(cell, rep int) string {
 		Scenario scenario.Spec
 		Protocol string
 		Seed     int64
-	}{p.Cells[cell].spec, p.Cells[cell].Protocol, p.SeedFor(cell, rep)}
+		// Format versions the result payload a unit produces. v2 added
+		// Results.Streams; bumping it invalidates cache entries recorded
+		// without stream digests rather than serving them silently.
+		Format int
+	}{p.Cells[cell].spec, p.Cells[cell].Protocol, p.SeedFor(cell, rep), 2}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		// A plan that expanded cannot fail to marshal; guard anyway.

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"adhocsim/internal/mac"
+	"adhocsim/internal/metrics"
 	"adhocsim/internal/network"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing/aodv"
@@ -78,6 +79,10 @@ type RunConfig struct {
 	// (use only with a single seed; trace interleaving across parallel
 	// replications is not meaningful).
 	Tracer trace.Tracer
+	// Sinks, when non-empty, receive the run's metric sample stream
+	// (deliveries, delays, transmissions, drops) as typed metrics.Samples.
+	// Like Tracer, sinks are single-goroutine: use only with a single seed.
+	Sinks []metrics.Sink
 }
 
 // Run executes one scenario×protocol×seed simulation and returns its
@@ -116,6 +121,7 @@ func Run(ctx context.Context, rc RunConfig) (stats.Results, error) {
 		Seed:     rc.Seed ^ 0x5eed,
 		Oracle:   oracle,
 		Tracer:   rc.Tracer,
+		Sinks:    rc.Sinks,
 	})
 	if err != nil {
 		return stats.Results{}, err

@@ -428,9 +428,15 @@ func (s *Server) commitLocked(m *managed, ci, rep int, res stats.Results, fromCa
 		_ = s.cache.Put(m.c.Plan().UnitKey(ci, rep), res)
 	}
 	snap := m.c.Snapshot()
-	s.hub.Publish(CampaignTopic(m.id), Event{
+	cell, repIdx := ci, rep
+	runEvt := Event{
 		Type: EventRunCommitted, Campaign: m.id, Snapshot: &snap,
-	})
+		Cell: &cell, Rep: &repIdx, Label: m.c.Plan().Cells[ci].Label,
+	}
+	if res.Streams != nil {
+		runEvt.Series = res.Streams.Series
+	}
+	s.hub.Publish(CampaignTopic(m.id), runEvt)
 	if m.c.CellStopped(ci) && !m.stoppedSeen[ci] {
 		m.stoppedSeen[ci] = true
 		cell := ci

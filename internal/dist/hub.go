@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"adhocsim/internal/campaign"
+	"adhocsim/internal/metrics"
 )
 
 // Event is one message on the progress/control bus. The same shape is
@@ -25,9 +26,14 @@ type Event struct {
 	Type string `json:"type"`
 	// Campaign is the coordinator-assigned campaign id.
 	Campaign string `json:"campaign,omitempty"`
-	// Cell and Label identify the converged cell on cell_converged events.
+	// Cell and Label identify the cell on run_committed and cell_converged
+	// events; Rep is the committed replication on run_committed events.
 	Cell  *int   `json:"cell,omitempty"`
+	Rep   *int   `json:"rep,omitempty"`
 	Label string `json:"label,omitempty"`
+	// Series is the committed run's bucketed time series on run_committed
+	// events — the live per-cell stream a dashboard accumulates.
+	Series *metrics.SeriesState `json:"series,omitempty"`
 	// State is the terminal state on campaign_done events.
 	State campaign.State `json:"state,omitempty"`
 	// Snapshot carries cumulative progress counters; RunsDone is monotone,

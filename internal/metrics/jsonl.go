@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// JSONLWriter is a Sink that dumps the raw sample stream as one JSON object
+// per line: {"t_s":<sim seconds>,"kind":"<name>","v":<value>}. Lines are
+// hand-encoded into a reused buffer, so the hot path does not allocate.
+// Errors are sticky; check Flush at end of run.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL sample sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w), buf: make([]byte, 0, 96)}
+}
+
+// Record implements Sink.
+func (j *JSONLWriter) Record(s Sample) {
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"t_s":`...)
+	b = strconv.AppendFloat(b, s.At.Seconds(), 'g', -1, 64)
+	b = append(b, `,"kind":"`...)
+	b = append(b, s.Kind.String()...)
+	b = append(b, `","v":`...)
+	b = strconv.AppendFloat(b, s.Value, 'g', -1, 64)
+	b = append(b, '}', '\n')
+	j.buf = b
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (j *JSONLWriter) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}

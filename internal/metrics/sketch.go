@@ -1,0 +1,335 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultCompression is the sketch compression δ used by the campaign
+// pipeline. It bounds centroid count (and so memory and serialized size)
+// while keeping tail quantiles (p95/p99) accurate to a fraction of a
+// percentile on the skewed delay distributions interference scenes produce.
+const DefaultCompression = 100
+
+// Sketch is a merging t-digest: an online quantile summary with bounded
+// memory. Incoming values buffer until the buffer fills, then a single
+// merge pass folds them into a sorted centroid list whose resolution follows
+// the k₁ scale function k(q) = δ/(2π)·asin(2q−1) — fine near the tails,
+// coarse in the middle — so the centroid count stays below ~δ regardless of
+// how many values are added.
+//
+// Determinism: every operation is a fixed sequence of float64 ops over
+// deterministic state. Compression sorts the buffer (sort.Float64s) and
+// merges with a stable tie-break (existing centroids before new values, left
+// list before right on Merge), so the same values in the same order — and
+// the same Merge call order — reproduce bit-identical centroids. State
+// survives a JSON round-trip exactly (encoding/json emits shortest
+// round-trippable float64s), which the campaign journal and the distributed
+// result cache rely on for reflect.DeepEqual checkpoint equivalence.
+type Sketch struct {
+	compression float64
+	count       float64 // total weight incl. buffered values
+	min, max    float64
+
+	means   []float64 // centroid means, sorted ascending
+	weights []float64 // centroid weights, parallel to means
+
+	buf []float64 // values not yet folded into centroids
+
+	scratchM, scratchW []float64 // reused by compress to avoid per-pass allocation
+}
+
+// NewSketch creates a sketch with compression δ (centroid budget ~δ).
+// Compressions below 20 are raised to 20.
+func NewSketch(compression float64) *Sketch {
+	if compression < 20 {
+		compression = 20
+	}
+	bufCap := 4 * int(compression)
+	centCap := int(2*compression) + 8
+	return &Sketch{
+		compression: compression,
+		means:       make([]float64, 0, centCap),
+		weights:     make([]float64, 0, centCap),
+		buf:         make([]float64, 0, bufCap),
+	}
+}
+
+// Add feeds one value. Amortized allocation-free: values buffer in place and
+// compress reuses scratch storage.
+func (s *Sketch) Add(x float64) {
+	if s.count == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.count++
+	s.buf = append(s.buf, x)
+	if len(s.buf) == cap(s.buf) {
+		s.compress()
+	}
+}
+
+// Record implements Sink for single-kind streams; it adds the sample value.
+func (s *Sketch) Record(sm Sample) { s.Add(sm.Value) }
+
+// Count returns the total number of values (sum of weights).
+func (s *Sketch) Count() float64 { return s.count }
+
+// Min returns the smallest value seen (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest value seen (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Centroids returns the current centroid count (after folding the buffer).
+func (s *Sketch) Centroids() int {
+	s.compress()
+	return len(s.means)
+}
+
+// MaxCentroids is the hard bound on Centroids() for this sketch's
+// compression: the merge pass cannot emit more than 2δ+8 centroids.
+func (s *Sketch) MaxCentroids() int { return int(2*s.compression) + 8 }
+
+// k is the k₁ scale function mapping quantile to centroid index space.
+func (s *Sketch) k(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return s.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// kInv inverts k, clamping to [0,1].
+func (s *Sketch) kInv(k float64) float64 {
+	a := 2 * math.Pi * k / s.compression
+	if a <= -math.Pi/2 {
+		return 0
+	}
+	if a >= math.Pi/2 {
+		return 1
+	}
+	return (math.Sin(a) + 1) / 2
+}
+
+// compress folds buffered values into the centroid list.
+func (s *Sketch) compress() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	// Two-pointer merge of the sorted centroid list with the sorted buffer
+	// (buffered values become weight-1 centroids; ties keep existing
+	// centroids first).
+	mm, mw := s.scratchM[:0], s.scratchW[:0]
+	i, j := 0, 0
+	for i < len(s.means) || j < len(s.buf) {
+		if j >= len(s.buf) || (i < len(s.means) && s.means[i] <= s.buf[j]) {
+			mm = append(mm, s.means[i])
+			mw = append(mw, s.weights[i])
+			i++
+		} else {
+			mm = append(mm, s.buf[j])
+			mw = append(mw, 1)
+			j++
+		}
+	}
+	s.means, s.weights = s.mergePass(mm, mw, s.means[:0], s.weights[:0])
+	s.scratchM, s.scratchW = mm[:0], mw[:0]
+	s.buf = s.buf[:0]
+}
+
+// mergePass runs the greedy t-digest merge over a sorted centroid list,
+// appending the result to outM/outW (which must be empty, possibly sharing
+// no storage with ms/ws).
+func (s *Sketch) mergePass(ms, ws, outM, outW []float64) ([]float64, []float64) {
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	var wSoFar float64
+	curM, curW := ms[0], ws[0]
+	qLimit := s.kInv(s.k(0) + 1)
+	for idx := 1; idx < len(ms); idx++ {
+		q := (wSoFar + curW + ws[idx]) / total
+		if q <= qLimit {
+			curW += ws[idx]
+			curM += ws[idx] * (ms[idx] - curM) / curW
+		} else {
+			outM = append(outM, curM)
+			outW = append(outW, curW)
+			wSoFar += curW
+			qLimit = s.kInv(s.k(wSoFar/total) + 1)
+			curM, curW = ms[idx], ws[idx]
+		}
+	}
+	outM = append(outM, curM)
+	outW = append(outW, curW)
+	return outM, outW
+}
+
+// Merge folds o into s. The merge is deterministic in call order: both
+// sketches are compressed, the centroid lists are interleaved by mean (ties
+// keep s's centroids first), and one merge pass re-compresses. o is
+// compressed but otherwise unchanged.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil {
+		return
+	}
+	o.compress()
+	if o.count == 0 {
+		return
+	}
+	if s.count == 0 {
+		s.min, s.max = o.min, o.max
+	} else {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	s.count += o.count
+	s.compress()
+	// Two-pointer interleave of the two sorted centroid lists, s's centroids
+	// first on ties.
+	n := len(s.means) + len(o.means)
+	mm, mw := make([]float64, 0, n), make([]float64, 0, n)
+	i, j := 0, 0
+	for i < len(s.means) || j < len(o.means) {
+		if j >= len(o.means) || (i < len(s.means) && s.means[i] <= o.means[j]) {
+			mm = append(mm, s.means[i])
+			mw = append(mw, s.weights[i])
+			i++
+		} else {
+			mm = append(mm, o.means[j])
+			mw = append(mw, o.weights[j])
+			j++
+		}
+	}
+	s.means, s.weights = s.mergePass(mm, mw, s.means[:0], s.weights[:0])
+}
+
+// Quantile returns the q-quantile estimate (q in [0,1]) with linear
+// interpolation between centroid centers, clamped to [Min, Max]. Empty
+// sketches return 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	s.compress()
+	n := len(s.means)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 || s.count == 1 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	idx := q * s.count
+	var cum float64
+	for i := 0; i < n; i++ {
+		center := cum + s.weights[i]/2
+		if idx < center {
+			if i == 0 {
+				t := idx / center
+				return s.min + t*(s.means[0]-s.min)
+			}
+			prev := cum - s.weights[i-1]/2
+			t := (idx - prev) / (center - prev)
+			return s.means[i-1] + t*(s.means[i]-s.means[i-1])
+		}
+		cum += s.weights[i]
+	}
+	last := cum - s.weights[n-1]/2
+	t := (idx - last) / (s.count - last)
+	if t > 1 {
+		t = 1
+	}
+	return s.means[n-1] + t*(s.max-s.means[n-1])
+}
+
+// SketchState is the serialized form of a Sketch. All fields round-trip
+// through encoding/json bit-exactly (weights are integer-valued counts well
+// below 2⁵³).
+type SketchState struct {
+	Compression float64   `json:"compression"`
+	Count       float64   `json:"count"`
+	Min         float64   `json:"min,omitempty"`
+	Max         float64   `json:"max,omitempty"`
+	Means       []float64 `json:"means,omitempty"`
+	Weights     []float64 `json:"weights,omitempty"`
+}
+
+// State compresses the sketch and snapshots it. The returned slices are
+// copies (nil when the sketch is empty) so later Adds don't alias.
+func (s *Sketch) State() SketchState {
+	s.compress()
+	st := SketchState{Compression: s.compression, Count: s.count}
+	if s.count > 0 {
+		st.Min, st.Max = s.min, s.max
+	}
+	if len(s.means) > 0 {
+		st.Means = append([]float64(nil), s.means...)
+		st.Weights = append([]float64(nil), s.weights...)
+	}
+	return st
+}
+
+// FromState reconstructs a sketch from a snapshot. The reconstruction is
+// exact: quantiles and subsequent merges behave identically to the original.
+func FromState(st SketchState) *Sketch {
+	s := NewSketch(st.Compression)
+	s.count = st.Count
+	if st.Count > 0 {
+		s.min, s.max = st.Min, st.Max
+	}
+	s.means = append(s.means, st.Means...)
+	s.weights = append(s.weights, st.Weights...)
+	return s
+}
+
+// MergeState folds a serialized sketch into s, equivalent to
+// s.Merge(FromState(st)).
+func (s *Sketch) MergeState(st SketchState) { s.Merge(FromState(st)) }
+
+// QuantileSummary is the fixed percentile set served in campaign results.
+type QuantileSummary struct {
+	Count float64 `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary materializes the standard percentile set from the sketch.
+func (s *Sketch) Summary() QuantileSummary {
+	return QuantileSummary{
+		Count: s.Count(),
+		Min:   s.Min(),
+		Max:   s.Max(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+}

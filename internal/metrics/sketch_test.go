@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference: nearest-rank with interpolation disabled
+// is too coarse for comparison, so use the same definition the sketch
+// targets (linear interpolation over the empirical CDF).
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+func TestSketchAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name string
+		gen  func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 0.05 }}, // delay-like skew
+		{"bimodal", func() float64 {
+			if rng.Intn(10) == 0 {
+				return 1 + rng.Float64()
+			}
+			return 0.01 * rng.Float64()
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 200_000
+			s := NewSketch(DefaultCompression)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = tc.gen()
+				s.Add(xs[i])
+			}
+			sort.Float64s(xs)
+			for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+				got := s.Quantile(q)
+				// Rank error: where does the estimate fall in the true CDF?
+				rank := float64(sort.SearchFloat64s(xs, got)) / n
+				if d := math.Abs(rank - q); d > 0.01 {
+					t.Errorf("q=%v: estimate %v has true rank %v (rank error %v)", q, got, rank, d)
+				}
+			}
+			if got, want := s.Min(), xs[0]; got != want {
+				t.Errorf("Min = %v, want %v", got, want)
+			}
+			if got, want := s.Max(), xs[n-1]; got != want {
+				t.Errorf("Max = %v, want %v", got, want)
+			}
+			if got, want := s.Count(), float64(n); got != want {
+				t.Errorf("Count = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestSketchBoundedCentroids(t *testing.T) {
+	// 5M samples ≈ the sample volume of a 10k-node city run; memory must
+	// stay at the fixed centroid cap regardless.
+	rng := rand.New(rand.NewSource(3))
+	s := NewSketch(DefaultCompression)
+	for i := 0; i < 5_000_000; i++ {
+		s.Add(rng.ExpFloat64())
+	}
+	if got, limit := s.Centroids(), s.MaxCentroids(); got > limit {
+		t.Fatalf("centroids = %d, exceeds cap %d", got, limit)
+	}
+	if c := s.Centroids(); c > 2*DefaultCompression {
+		t.Fatalf("centroids = %d, want ≤ 2δ = %d", c, 2*DefaultCompression)
+	}
+	// Buffer and centroid storage never grow past their initial capacity.
+	if cap(s.buf) != 4*DefaultCompression {
+		t.Errorf("buffer capacity grew to %d", cap(s.buf))
+	}
+}
+
+func TestSketchDeterminismAndJSONRoundTrip(t *testing.T) {
+	feed := func() *Sketch {
+		rng := rand.New(rand.NewSource(11))
+		s := NewSketch(DefaultCompression)
+		for i := 0; i < 50_000; i++ {
+			s.Add(rng.ExpFloat64() * 0.01)
+		}
+		return s
+	}
+	a, b := feed(), feed()
+	if !reflect.DeepEqual(a.State(), b.State()) {
+		t.Fatal("same input order must produce bit-identical state")
+	}
+	// JSON round-trip is exact.
+	blob, err := json.Marshal(a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SketchState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, a.State()) {
+		t.Fatal("sketch state must survive a JSON round-trip bit-exactly")
+	}
+	// Reconstruction is exact: quantiles agree bit-for-bit.
+	r := FromState(st)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got, want := r.Quantile(q), a.Quantile(q); got != want {
+			t.Errorf("Quantile(%v): reconstructed %v != original %v", q, got, want)
+		}
+	}
+}
+
+func TestSketchMergeDeterministicInOrder(t *testing.T) {
+	part := func(seed int64) SketchState {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSketch(DefaultCompression)
+		for i := 0; i < 20_000; i++ {
+			s.Add(rng.Float64())
+		}
+		return s.State()
+	}
+	parts := []SketchState{part(1), part(2), part(3), part(4)}
+
+	fold := func() SketchState {
+		acc := FromState(parts[0])
+		for _, p := range parts[1:] {
+			acc.MergeState(p)
+		}
+		return acc.State()
+	}
+	first, second := fold(), fold()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("in-order merge must be deterministic")
+	}
+	// Merged sketch still answers quantiles sensibly over the union.
+	m := FromState(first)
+	if m.Count() != 80_000 {
+		t.Fatalf("merged count = %v, want 80000", m.Count())
+	}
+	if p50 := m.Quantile(0.5); math.Abs(p50-0.5) > 0.02 {
+		t.Errorf("merged p50 = %v, want ≈0.5", p50)
+	}
+	if m.Centroids() > m.MaxCentroids() {
+		t.Errorf("merged centroids %d exceed cap %d", m.Centroids(), m.MaxCentroids())
+	}
+	// A resume that rebuilds from serialized state mid-fold lands on the
+	// same bits as the uninterrupted fold.
+	acc := FromState(parts[0])
+	acc.MergeState(parts[1])
+	resumed := FromState(acc.State())
+	resumed.MergeState(parts[2])
+	resumed.MergeState(parts[3])
+	if !reflect.DeepEqual(resumed.State(), first) {
+		t.Fatal("fold resumed from serialized state must match uninterrupted fold")
+	}
+}
+
+func TestSketchEmptyAndSingleton(t *testing.T) {
+	s := NewSketch(DefaultCompression)
+	if s.Quantile(0.5) != 0 || s.Count() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	st := s.State()
+	if st.Means != nil || st.Weights != nil {
+		t.Fatal("empty state must keep nil slices for DeepEqual-through-JSON")
+	}
+	s.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("singleton Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	// Merging an empty sketch is a no-op on state.
+	before := s.State()
+	s.Merge(NewSketch(DefaultCompression))
+	s.MergeState(SketchState{Compression: DefaultCompression})
+	if !reflect.DeepEqual(s.State(), before) {
+		t.Fatal("merging empty sketches must not change state")
+	}
+	// Merging into an empty sketch adopts the other side.
+	e := NewSketch(DefaultCompression)
+	e.MergeState(before)
+	if e.Quantile(0.5) != 42 || e.Count() != 1 {
+		t.Fatal("merge into empty sketch must adopt the source")
+	}
+}
+
+func TestQuantileSummary(t *testing.T) {
+	s := NewSketch(DefaultCompression)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summary()
+	if sum.Count != 1000 || sum.Min != 1 || sum.Max != 1000 {
+		t.Fatalf("summary bounds wrong: %+v", sum)
+	}
+	if !(sum.P50 <= sum.P90 && sum.P90 <= sum.P95 && sum.P95 <= sum.P99) {
+		t.Fatalf("percentiles not monotone: %+v", sum)
+	}
+	if math.Abs(sum.P50-500) > 15 || math.Abs(sum.P99-990) > 10 {
+		t.Fatalf("percentiles off: %+v", sum)
+	}
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+
+	"adhocsim/internal/sim"
+)
+
+// DefaultSeriesBuckets is the time-series resolution used by the campaign
+// pipeline: one run's horizon is split into at most this many fixed
+// sim-time buckets.
+const DefaultSeriesBuckets = 60
+
+// Window is a Sink that accumulates the sample stream into fixed sim-time
+// buckets: per bucket and per kind it keeps the sample count and the value
+// sum, so delivered counts/bytes, mean delay, and drop rates can be plotted
+// over a run without a trace. Memory is O(buckets × kinds), independent of
+// node count and run length.
+//
+// Bucketing is integer math on sim.Time, so it is exactly deterministic.
+type Window struct {
+	width   sim.Duration
+	buckets int
+	counts  [NumKinds][]float64
+	sums    [NumKinds][]float64
+}
+
+// NewWindow creates a window covering [0, horizon) with at most maxBuckets
+// buckets. Samples at or beyond the horizon clamp into the last bucket.
+func NewWindow(horizon sim.Duration, maxBuckets int) *Window {
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	width := horizon / sim.Duration(maxBuckets)
+	if width <= 0 {
+		width = 1
+	}
+	buckets := int((horizon + width - 1) / width)
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > maxBuckets {
+		buckets = maxBuckets
+	}
+	w := &Window{width: width, buckets: buckets}
+	for k := range w.counts {
+		w.counts[k] = make([]float64, buckets)
+		w.sums[k] = make([]float64, buckets)
+	}
+	return w
+}
+
+// Record implements Sink.
+func (w *Window) Record(s Sample) {
+	i := int(sim.Duration(s.At) / w.width)
+	if i >= w.buckets {
+		i = w.buckets - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	w.counts[s.Kind][i]++
+	w.sums[s.Kind][i] += s.Value
+}
+
+// SeriesState is the serialized form of a Window: per-kind per-bucket sample
+// counts and value sums. Counts and sums always carry every kind (uniform
+// keys), so states from runs of the same spec merge bucket-wise.
+type SeriesState struct {
+	// BucketS is the bucket width in seconds.
+	BucketS float64 `json:"bucket_s"`
+	// Counts maps kind name to per-bucket sample counts.
+	Counts map[string][]float64 `json:"counts"`
+	// Sums maps kind name to per-bucket value sums (bytes for delivered and
+	// transmissions, seconds for delay, sample counts for unit-valued kinds).
+	Sums map[string][]float64 `json:"sums"`
+}
+
+// State snapshots the window. Slices are copies; later Records don't alias.
+func (w *Window) State() *SeriesState {
+	st := &SeriesState{
+		BucketS: w.width.Seconds(),
+		Counts:  make(map[string][]float64, NumKinds),
+		Sums:    make(map[string][]float64, NumKinds),
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		st.Counts[k.String()] = append([]float64(nil), w.counts[k]...)
+		st.Sums[k.String()] = append([]float64(nil), w.sums[k]...)
+	}
+	return st
+}
+
+// Merge adds o's buckets into s element-wise. Both states must come from
+// windows of identical geometry (same spec → same horizon and bucket count);
+// a mismatch is an error and leaves s unchanged.
+func (s *SeriesState) Merge(o *SeriesState) error {
+	if o == nil {
+		return nil
+	}
+	if s.BucketS != o.BucketS {
+		return fmt.Errorf("metrics: series bucket width mismatch: %v vs %v", s.BucketS, o.BucketS)
+	}
+	for name, ob := range o.Counts {
+		if sb, ok := s.Counts[name]; !ok || len(sb) != len(ob) {
+			return fmt.Errorf("metrics: series geometry mismatch for %q", name)
+		}
+	}
+	for name, ob := range o.Sums {
+		if sb, ok := s.Sums[name]; !ok || len(sb) != len(ob) {
+			return fmt.Errorf("metrics: series geometry mismatch for %q", name)
+		}
+	}
+	for name, ob := range o.Counts {
+		sb := s.Counts[name]
+		for i := range ob {
+			sb[i] += ob[i]
+		}
+	}
+	for name, ob := range o.Sums {
+		sb := s.Sums[name]
+		for i := range ob {
+			sb[i] += ob[i]
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the state (nil stays nil).
+func (s *SeriesState) Clone() *SeriesState {
+	if s == nil {
+		return nil
+	}
+	out := &SeriesState{
+		BucketS: s.BucketS,
+		Counts:  make(map[string][]float64, len(s.Counts)),
+		Sums:    make(map[string][]float64, len(s.Sums)),
+	}
+	for k, v := range s.Counts {
+		out.Counts[k] = append([]float64(nil), v...)
+	}
+	for k, v := range s.Sums {
+		out.Sums[k] = append([]float64(nil), v...)
+	}
+	return out
+}

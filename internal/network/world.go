@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"adhocsim/internal/mac"
+	"adhocsim/internal/metrics"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/pkt"
@@ -38,6 +39,10 @@ type Config struct {
 	// Tracer is optional; when set, every network-layer packet event is
 	// reported to it (ns-2-style tracing).
 	Tracer trace.Tracer
+	// Sinks is optional; when set, the collector also emits every
+	// data/routing event as a typed metrics.Sample to each sink, stamped
+	// with the engine clock. Sinks run on the event loop: keep Record cheap.
+	Sinks []metrics.Sink
 }
 
 // World is one fully-wired simulation instance. It is single-threaded;
@@ -87,6 +92,7 @@ func NewWorld(cfg Config) (*World, error) {
 		Oracle:    cfg.Oracle,
 		Tracer:    cfg.Tracer,
 	}
+	w.Collector.AttachSinks(w.Eng.Now, cfg.Sinks...)
 	w.Channel = phy.NewChannelWithConfig(w.Eng, cfg.Radio, phyCfg)
 	// One flattened position table for the whole population, precomputed
 	// off the event loop: the channel reads (and batch-refreshes) positions

@@ -7,6 +7,7 @@ package stats
 import (
 	"sort"
 
+	"adhocsim/internal/metrics"
 	"adhocsim/internal/pkt"
 	"adhocsim/internal/sim"
 )
@@ -51,6 +52,11 @@ type Collector struct {
 	macCtlBytes  uint64
 
 	drops map[DropReason]uint64
+
+	// Optional metric-stream fan-out. When no sinks are attached the
+	// counter path above runs byte-identically to the seed pipeline.
+	sinks []metrics.Sink
+	clock func() sim.Time
 }
 
 // NewCollector creates an empty collector; Begin/Finish bracket the
@@ -60,6 +66,26 @@ func NewCollector() *Collector {
 		hopExcess:     make(map[int]uint64),
 		routingByType: make(map[string]uint64),
 		drops:         make(map[DropReason]uint64),
+	}
+}
+
+// AttachSinks connects the collector to the metric sample stream: every
+// subsequent data/routing event is also emitted as a typed metrics.Sample,
+// stamped with the virtual time from clock. Sinks share the Engine's
+// single-goroutine discipline.
+func (c *Collector) AttachSinks(clock func() sim.Time, sinks ...metrics.Sink) {
+	if len(sinks) == 0 {
+		return
+	}
+	c.clock = clock
+	c.sinks = append(c.sinks, sinks...)
+}
+
+// emit fans one sample out to the attached sinks at the current sim time.
+func (c *Collector) emit(k metrics.Kind, v float64) {
+	s := metrics.Sample{At: c.clock(), Kind: k, Value: v}
+	for _, sk := range c.sinks {
+		sk.Record(s)
 	}
 }
 
@@ -76,6 +102,9 @@ func (c *Collector) OnDataOriginated(p *pkt.Packet, optimalHops int) {
 	c.dataSent++
 	_ = p
 	_ = optimalHops // recorded on the packet itself; used at delivery
+	if len(c.sinks) > 0 {
+		c.emit(metrics.Originated, 1)
+	}
 }
 
 // OnDataDelivered records a packet reaching its destination sink.
@@ -91,6 +120,11 @@ func (c *Collector) OnDataDelivered(p *pkt.Packet, now sim.Time, isDup bool) {
 	c.delaySum += d
 	c.delays = append(c.delays, d.Seconds())
 	c.hopsSum += uint64(p.Hops)
+	if len(c.sinks) > 0 {
+		c.emit(metrics.Delivered, float64(p.Size))
+		c.emit(metrics.Delay, d.Seconds())
+		c.emit(metrics.Hops, float64(p.Hops))
+	}
 	if p.OptimalHops > 0 {
 		excess := p.Hops - p.OptimalHops
 		if excess < 0 {
@@ -108,10 +142,18 @@ func (c *Collector) OnRoutingTx(p *pkt.Packet) {
 	c.routingTx++
 	c.routingTxBytes += uint64(p.Size)
 	c.routingByType[p.Msg]++
+	if len(c.sinks) > 0 {
+		c.emit(metrics.RoutingTx, float64(p.Size))
+	}
 }
 
 // OnDataTx records one transmission (one hop) of a data packet.
-func (c *Collector) OnDataTx(p *pkt.Packet) { c.dataFwd++ }
+func (c *Collector) OnDataTx(p *pkt.Packet) {
+	c.dataFwd++
+	if len(c.sinks) > 0 {
+		c.emit(metrics.DataTx, float64(p.Size))
+	}
+}
 
 // OnMacControl records MAC control frames (RTS/CTS/ACK) in aggregate.
 func (c *Collector) OnMacControl(frames, bytes uint64) {
@@ -123,6 +165,9 @@ func (c *Collector) OnMacControl(frames, bytes uint64) {
 // routing packet drops are tracked for diagnostics.
 func (c *Collector) OnDrop(p *pkt.Packet, reason DropReason) {
 	c.drops[reason]++
+	if len(c.sinks) > 0 {
+		c.emit(metrics.Dropped, 1)
+	}
 }
 
 // Results is the final metric set of one run.
@@ -164,6 +209,12 @@ type Results struct {
 	OptUnknown uint64
 
 	Drops map[DropReason]uint64
+
+	// Streams is the serialized metric-stream digest (quantile sketches and
+	// bucketed time series) when the run was executed with stream sinks
+	// attached — the campaign pipeline sets it so journal entries and
+	// distributed commits carry sketch state. Nil on plain runs.
+	Streams *metrics.RunStreams `json:"Streams,omitempty"`
 }
 
 // Finalize computes Results from the raw counters.

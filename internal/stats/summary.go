@@ -76,13 +76,17 @@ func t95(df int) float64 {
 
 // MergeResults averages the scalar metrics of several runs (replication
 // seeds) into one Results, summing the histograms and counters. Drop maps
-// and per-type overhead are summed; rates are averaged.
+// and per-type overhead are summed; rates are averaged. Stream digests are
+// dropped: cross-run sketch aggregation lives in the campaign layer, where
+// merge order is pinned to replication order.
 func MergeResults(rs []Results) Results {
 	if len(rs) == 0 {
 		return Results{}
 	}
 	if len(rs) == 1 {
-		return rs[0]
+		r := rs[0]
+		r.Streams = nil
+		return r
 	}
 	out := Results{
 		RoutingByType: make(map[string]uint64),

@@ -34,6 +34,34 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// Merge folds another accumulator into w using the pairwise
+// parallel-variance combine (Chan et al.): the result matches what a single
+// accumulator over the concatenated samples would report, up to float64
+// rounding. Deterministic in call order; it does NOT bit-match a sequential
+// Add of the same observations, so the campaign's checkpoint-identical
+// rep folding keeps using Add.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	wf, of := float64(w.n), float64(o.n)
+	w.m2 += o.m2 + delta*delta*wf*of/float64(n)
+	w.mean += delta * of / float64(n)
+	w.n = n
+}
+
 // N returns the number of observations fed so far.
 func (w *Welford) N() int { return w.n }
 

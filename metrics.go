@@ -1,0 +1,71 @@
+package adhocsim
+
+import (
+	"io"
+
+	"adhocsim/internal/metrics"
+	"adhocsim/internal/stats"
+)
+
+// The streaming-metrics surface: runs can emit their raw metric events as a
+// typed sample stream (RunConfig.Sinks) consumed by bounded-memory sinks —
+// online quantile sketches, fixed-bucket time series, per-kind Welford
+// cells, or a JSONL dump. See internal/metrics for the determinism and
+// bounded-memory contracts.
+
+// MetricKind labels what a MetricSample measures.
+type MetricKind = metrics.Kind
+
+// The metric sample taxonomy.
+const (
+	MetricOriginated = metrics.Originated
+	MetricDelivered  = metrics.Delivered
+	MetricDelaySec   = metrics.Delay
+	MetricHops       = metrics.Hops
+	MetricRoutingTx  = metrics.RoutingTx
+	MetricDataTx     = metrics.DataTx
+	MetricDropped    = metrics.Dropped
+)
+
+// MetricSample is one typed metric observation at a point in virtual time.
+type MetricSample = metrics.Sample
+
+// MetricSink consumes a run's sample stream; attach via RunConfig.Sinks.
+type MetricSink = metrics.Sink
+
+// QuantileSketch is a deterministic bounded-memory t-digest.
+type QuantileSketch = metrics.Sketch
+
+// QuantileSketchState is the JSON-exact serialized form of a QuantileSketch.
+type QuantileSketchState = metrics.SketchState
+
+// QuantileSummary is the fixed percentile set campaign results serve.
+type QuantileSummary = metrics.QuantileSummary
+
+// MetricSeries is the serialized fixed-bucket time series of a run or cell.
+type MetricSeries = metrics.SeriesState
+
+// NewQuantileSketch creates a sketch with compression δ (centroid budget ~δ).
+func NewQuantileSketch(compression float64) *QuantileSketch { return metrics.NewSketch(compression) }
+
+// QuantileSketchFromState reconstructs a sketch exactly from its state.
+func QuantileSketchFromState(st QuantileSketchState) *QuantileSketch { return metrics.FromState(st) }
+
+// NewSketchSink creates a MetricSink sketching the given kinds.
+func NewSketchSink(compression float64, kinds ...MetricKind) *metrics.SketchSink {
+	return metrics.NewSketchSink(compression, kinds...)
+}
+
+// NewWindowSink creates a MetricSink bucketing samples into at most
+// maxBuckets fixed sim-time windows over [0, horizon).
+func NewWindowSink(horizon Duration, maxBuckets int) *metrics.Window {
+	return metrics.NewWindow(horizon, maxBuckets)
+}
+
+// NewJSONLSink creates a MetricSink dumping every sample as one JSON line;
+// call Flush when the run completes.
+func NewJSONLSink(w io.Writer) *metrics.JSONLWriter { return metrics.NewJSONLWriter(w) }
+
+// NewWelfordSink creates a MetricSink keeping one Welford mean/variance cell
+// per sample kind.
+func NewWelfordSink() *stats.WelfordSink { return stats.NewWelfordSink() }
