@@ -303,3 +303,64 @@ func TestCampaignCancel(t *testing.T) {
 		t.Fatal("second Run accepted")
 	}
 }
+
+// TestWorkersExecutionOnly: the workers knob is execution-only — two plans
+// differing solely in workers must share the spec hash (journals resume
+// across worker counts) and every run-unit digest (the content-addressed
+// result cache serves across worker counts), while a negative count is
+// rejected at expansion.
+func TestWorkersExecutionOnly(t *testing.T) {
+	eight := 8
+	seq, err := Spec{Protocols: []string{"DSR"}, MaxReps: 2}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Spec{Protocols: []string{"DSR"}, MaxReps: 2, Base: ScenarioPatch{Workers: &eight}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Workers != 8 || seq.Workers != 0 {
+		t.Fatalf("plan workers = %d/%d, want 0/8", seq.Workers, par.Workers)
+	}
+	if seq.Hash != par.Hash {
+		t.Fatalf("workers leaked into the plan hash: %s != %s", seq.Hash, par.Hash)
+	}
+	for cell := range seq.Cells {
+		for rep := 0; rep < 2; rep++ {
+			if seq.UnitKey(cell, rep) != par.UnitKey(cell, rep) {
+				t.Fatalf("workers leaked into unit digest (cell %d rep %d)", cell, rep)
+			}
+		}
+	}
+	neg := -1
+	if _, err := (Spec{Base: ScenarioPatch{Workers: &neg}}).Expand(); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+// TestWorkersUnitParity: a unit executed with plan workers set must return
+// reflect.DeepEqual results to the sequential execution of the same unit.
+func TestWorkersUnitParity(t *testing.T) {
+	four := 4
+	spec := Spec{Scenario: tinyScenario(), Protocols: []string{"AODV"}, MaxReps: 1}
+	seq, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Base.Workers = &four
+	par, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := seq.ExecuteUnit(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.ExecuteUnit(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("workers=4 unit diverges from sequential:\nseq %+v\npar %+v", a, b)
+	}
+}

@@ -1,0 +1,133 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/sim"
+)
+
+// fuzzTracks builds a deterministic multi-segment population for the
+// read-only/clone lookup tests.
+func fuzzTracks(rng *rand.Rand, n int) []*Track {
+	var tracks []*Track
+	for i := 0; i < n; i++ {
+		segs := []Segment{{
+			Start: 0,
+			From:  geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			To:    geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+		}}
+		if i%4 != 0 {
+			segs[0].Speed = 1 + rng.Float64()*19
+		}
+		at := sim.Time(0)
+		for k := 0; k < rng.Intn(25); k++ {
+			at += sim.Time(rng.Int63n(int64(10 * sim.Second)))
+			prev := segs[len(segs)-1]
+			seg := Segment{Start: at, From: prev.posAt(at),
+				To: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}}
+			if rng.Intn(4) != 0 {
+				seg.Speed = 1 + rng.Float64()*19
+			}
+			segs = append(segs, seg)
+		}
+		tracks = append(tracks, MustTrack(segs))
+	}
+	return tracks
+}
+
+// TestAtROMatchesAt: the write-free lookup must be bit-identical to the
+// memoising one under every probe pattern — monotone, repeated, and
+// out-of-order — regardless of where the memo and segment hints currently
+// point. The parallel transmit fan-out relies on this equivalence: workers
+// probe via AtRO while the sequential path uses At, and candidate legs must
+// not diverge by a single bit.
+func TestAtROMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tracks := fuzzTracks(rng, 25)
+	tb := NewTable(tracks)
+	ref := NewTable(tracks) // probed only through At, as the sequential path would
+
+	var clock sim.Time
+	for probe := 0; probe < 8000; probe++ {
+		i := rng.Intn(len(tracks))
+		var at sim.Time
+		switch rng.Intn(4) {
+		case 0:
+			clock += sim.Time(rng.Int63n(int64(sim.Second)))
+			at = clock
+		case 1:
+			at = clock
+		case 2:
+			if clock > 0 {
+				at = sim.Time(rng.Int63n(int64(clock)))
+			}
+		default:
+			at = clock + sim.Time(rng.Int63n(int64(100*sim.Second)))
+		}
+		want := ref.At(i, at)
+		if got := tb.AtRO(i, at); got != want {
+			t.Fatalf("AtRO(%d, %v) = %v, At = %v", i, at, got, want)
+		}
+		// Interleave memoising probes on tb so AtRO keeps hitting both the
+		// memo fast path and arbitrary hint positions.
+		if probe%3 == 0 {
+			if got := tb.At(i, at); got != want {
+				t.Fatalf("At(%d, %v) = %v after AtRO, want %v", i, at, got, want)
+			}
+		}
+	}
+}
+
+// TestAtRODoesNotWrite: AtRO must leave the memo and hints untouched — that
+// is what makes it safe for concurrent readers.
+func TestAtRODoesNotWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tracks := fuzzTracks(rng, 8)
+	tb := NewTable(tracks)
+	tb.At(3, sim.At(5)) // plant a memo entry and advance a hint
+	seg, epoch, pos := tb.seg[3], tb.epoch[3], tb.pos[3]
+	for _, at := range []sim.Time{0, sim.At(1), sim.At(5), sim.At(90)} {
+		tb.AtRO(3, at)
+	}
+	if tb.seg[3] != seg || tb.epoch[3] != epoch || tb.pos[3] != pos {
+		t.Fatal("AtRO mutated lookup state")
+	}
+}
+
+// TestCloneIndependentMemo: a clone shares segments but owns its lookup
+// state, so probing the clone at one epoch while the original walks another
+// (exactly what the pipelined reindex does) never perturbs the original's
+// results.
+func TestCloneIndependentMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tracks := fuzzTracks(rng, 12)
+	tb := NewTable(tracks)
+	cl := tb.Clone()
+	if cl.Len() != tb.Len() {
+		t.Fatalf("clone Len = %d, want %d", cl.Len(), tb.Len())
+	}
+
+	ref := NewTable(tracks)
+	dst := make([]geo.Point, cl.Len())
+	refDst := make([]geo.Point, cl.Len())
+	for step := 0; step < 50; step++ {
+		now := sim.At(float64(step))
+		ahead := now.Add(10 * sim.Second)
+		// Original probes "now" while the clone batch-sweeps a future epoch.
+		for i := 0; i < tb.Len(); i++ {
+			if got, want := tb.At(i, now), ref.At(i, now); got != want {
+				t.Fatalf("original diverged at node %d t=%v: %v != %v", i, now, got, want)
+			}
+		}
+		cl.Positions(ahead, dst)
+		ref2 := NewTable(tracks)
+		ref2.Positions(ahead, refDst)
+		for i := range dst {
+			if dst[i] != refDst[i] {
+				t.Fatalf("clone Positions diverged at node %d t=%v", i, ahead)
+			}
+		}
+	}
+}

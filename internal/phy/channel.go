@@ -65,6 +65,18 @@ type Config struct {
 	// and therefore every result — is bit-identical either way; the
 	// choice is purely a performance knob.
 	Scheduler sim.QueueKind
+	// Workers selects the intra-run parallel execution layer: N > 0 fans
+	// each transmit's per-candidate propagation math across N pool
+	// goroutines (plus the simulation goroutine) and pipelines the next
+	// epoch's position capture + spatial reindex on a background worker.
+	// Results are byte-identical to the sequential path — stochastic
+	// draws are content-derived per (seed, from, to, txSeq), evaluation
+	// is split from in-order commit, and the epoch grid stays within the
+	// SpeedBound×interval staleness window — so Workers is purely a
+	// performance knob, like Scheduler. The zero value keeps today's
+	// single-goroutine path instruction-identical. Negative values are
+	// rejected by network.NewWorld.
+	Workers int
 }
 
 // Channel is the shared wireless medium. It connects all radios of a run and
@@ -102,9 +114,16 @@ type Channel struct {
 	pts         []geo.Point // reusable position buffer for reindex
 	scratch     []int32     // reusable candidate buffer
 	arrivalPool []*arrivalEvent
-	rxPool      []*receptionEvent
-	airPool     []*airEvent
-	Reindexes   uint64 // spatial-index rebuilds (diagnostics)
+
+	// Intra-run parallelism (Config.Workers > 0); see parallel.go. All
+	// lazily built on the first transmit and torn down by StopWorkers.
+	parInit   bool
+	fanout    *sim.Pool    // phase=fanout leg-evaluation pool
+	legs      []legResult  // per-candidate fan-out results arena
+	pre       *precomputer // phase=reindex pipelined epoch builder
+	rxPool    []*receptionEvent
+	airPool   []*airEvent
+	Reindexes uint64 // spatial-index rebuilds (diagnostics)
 
 	// Stats (aggregated across all radios).
 	Transmissions uint64
@@ -253,7 +272,14 @@ func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
 	now := c.eng.Now()
 	c.Transmissions++
 	from := c.posAt(r.id, now)
+	if c.cfg.Workers > 0 && !c.parInit {
+		c.initParallel()
+	}
 	if c.cfg.BruteForce {
+		if c.fanoutReady(len(c.radios) - 1) {
+			c.fanoutAll(r, from, payload, dur, now)
+			return
+		}
 		for _, o := range c.radios {
 			if o == r {
 				continue
@@ -263,9 +289,13 @@ func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
 		return
 	}
 	if c.needReindex(now) {
-		c.reindex(now)
+		c.refreshIndex(now)
 	}
 	c.scratch = c.grid.WithinSorted(from, c.queryRadius, int32(r.id), c.scratch[:0])
+	if c.fanoutReady(len(c.scratch)) {
+		c.fanoutCands(r, c.scratch, from, payload, dur, now)
+		return
+	}
 	for _, id := range c.scratch {
 		c.propagate(r, c.radios[id], from, payload, dur, now)
 	}

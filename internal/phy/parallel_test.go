@@ -1,0 +1,218 @@
+package phy
+
+import (
+	"strconv"
+	"testing"
+
+	"adhocsim/internal/geo"
+	"adhocsim/internal/mobility"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/sim"
+)
+
+// movingPopulation spreads n nodes over a side×side square, each drifting
+// towards its mirror point, deterministically and densely enough that every
+// transmit's candidate set crosses the fan-out threshold.
+func movingPopulation(n int, side float64) []*mobility.Track {
+	tracks := make([]*mobility.Track, n)
+	for i := 0; i < n; i++ {
+		x := side * float64((i*31)%97) / 97
+		y := side * float64((i*57)%89) / 89
+		tracks[i] = mobility.MustTrack([]mobility.Segment{{
+			Start: 0,
+			From:  geo.Point{X: x, Y: y},
+			To:    geo.Point{X: side - x, Y: side - y},
+			Speed: 4,
+		}})
+	}
+	return tracks
+}
+
+// buildParallelWorld wires n table-backed radios (the network layer's
+// configuration) on a fresh engine.
+func buildParallelWorld(n int, cfg Config) (*sim.Engine, *Channel, []*collector) {
+	eng := sim.NewEngine()
+	ch := NewChannelWithConfig(eng, DefaultParams(), cfg)
+	ch.SetPositionTable(mobility.NewTable(movingPopulation(n, 400)))
+	cols := make([]*collector, n)
+	for i := 0; i < n; i++ {
+		cols[i] = &collector{}
+		ch.AttachRadio(pkt.NodeID(i), nil, cols[i])
+	}
+	return eng, ch, cols
+}
+
+// runParallelSchedule fires a staggered broadcast schedule (overlapping
+// enough to provoke collisions and captures) and returns the channel and
+// per-node collectors for comparison.
+func runParallelSchedule(t *testing.T, cfg Config) (*Channel, []*collector) {
+	t.Helper()
+	const n = 48
+	eng, ch, cols := buildParallelWorld(n, cfg)
+	for k := 0; k < 40; k++ {
+		sender := (k * 13) % n
+		at := sim.Duration(k) * 90 * sim.Millisecond
+		payload := strconv.Itoa(k)
+		eng.ScheduleIn(at, func() { ch.Radio(pkt.NodeID(sender)).Transmit(payload, sim.Millis(1)) })
+	}
+	if err := eng.Run(sim.At(5)); err != nil {
+		t.Fatal(err)
+	}
+	ch.StopWorkers()
+	return ch, cols
+}
+
+// TestParallelFanoutParity: the fan-out/commit split with workers must
+// reproduce the sequential path's observable behaviour exactly — every
+// delivery (payload, sender, power), every busy/idle edge, and all channel
+// counters — under both reception models. 48 nodes in a 400 m square put
+// every node in carrier-sense range of all others, so each broadcast's 47
+// candidates cross fanoutMinCandidates and genuinely exercise the pool.
+func TestParallelFanoutParity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sinr bool
+	}{{"capture", false}, {"sinr", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := Config{ReindexInterval: sim.Second, SpeedBound: 4, SINR: tc.sinr}
+			par := base
+			par.Workers = 4
+			seqCh, seqCols := runParallelSchedule(t, base)
+			parCh, parCols := runParallelSchedule(t, par)
+
+			if seqCh.Transmissions != parCh.Transmissions ||
+				seqCh.Deliveries != parCh.Deliveries ||
+				seqCh.Collisions != parCh.Collisions ||
+				seqCh.Captures != parCh.Captures {
+				t.Fatalf("channel counters diverge: seq tx/del/col/cap = %d/%d/%d/%d, par = %d/%d/%d/%d",
+					seqCh.Transmissions, seqCh.Deliveries, seqCh.Collisions, seqCh.Captures,
+					parCh.Transmissions, parCh.Deliveries, parCh.Collisions, parCh.Captures)
+			}
+			for i := range seqCols {
+				s, p := seqCols[i], parCols[i]
+				if len(s.got) != len(p.got) || s.busy != p.busy || s.idle != p.idle {
+					t.Fatalf("node %d event counts diverge: seq %d rx %d/%d edges, par %d rx %d/%d edges",
+						i, len(s.got), s.busy, s.idle, len(p.got), p.busy, p.idle)
+				}
+				for k := range s.got {
+					if s.got[k] != p.got[k] || s.from[k] != p.from[k] || s.power[k] != p.power[k] {
+						t.Fatalf("node %d reception %d diverges: seq (%v from %d @ %g), par (%v from %d @ %g)",
+							i, k, s.got[k], s.from[k], s.power[k], p.got[k], p.from[k], p.power[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBruteFanoutParity: the brute-force loop's fan-out must match
+// the sequential brute-force loop too (it shares the commit path but
+// enumerates all radios instead of the grid candidates).
+func TestParallelBruteFanoutParity(t *testing.T) {
+	base := Config{BruteForce: true}
+	par := base
+	par.Workers = 3
+	seqCh, seqCols := runParallelSchedule(t, base)
+	parCh, parCols := runParallelSchedule(t, par)
+	if seqCh.Deliveries != parCh.Deliveries || seqCh.Collisions != parCh.Collisions {
+		t.Fatalf("brute counters diverge: seq del/col %d/%d, par %d/%d",
+			seqCh.Deliveries, seqCh.Collisions, parCh.Deliveries, parCh.Collisions)
+	}
+	for i := range seqCols {
+		if len(seqCols[i].got) != len(parCols[i].got) {
+			t.Fatalf("node %d: seq %d receptions, par %d", i, len(seqCols[i].got), len(parCols[i].got))
+		}
+	}
+}
+
+// TestPrecomputeSwapAndDiscard pins the double-buffer state machine:
+// a query inside the prepared epoch's freshness window swaps the
+// background-built grid in (lastIndex lands exactly on the epoch
+// boundary, not on the query time), and a query past the window — an
+// event-stream gap — discards the speculative build and reindexes
+// synchronously at the query time.
+func TestPrecomputeSwapAndDiscard(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{ReindexInterval: sim.Second, SpeedBound: 4, Workers: 1}
+	ch := NewChannelWithConfig(eng, DefaultParams(), cfg)
+	ch.SetPositionTable(mobility.NewTable(movingPopulation(8, 300)))
+	cols := make([]*collector, 8)
+	for i := 0; i < 8; i++ {
+		cols[i] = &collector{}
+		ch.AttachRadio(pkt.NodeID(i), nil, cols[i])
+	}
+	defer ch.StopWorkers()
+
+	transmitAt := func(at sim.Time, sender int) {
+		eng.Schedule(at, func() { ch.Radio(pkt.NodeID(sender)).Transmit("x", sim.Micros(10)) })
+	}
+	check := func(at sim.Time, wantIndex sim.Time, wantReindexes uint64, what string) {
+		eng.Schedule(at, func() {
+			if ch.lastIndex != wantIndex {
+				t.Errorf("%s: lastIndex = %v, want %v", what, ch.lastIndex, wantIndex)
+			}
+			if ch.Reindexes != wantReindexes {
+				t.Errorf("%s: reindexes = %d, want %d", what, ch.Reindexes, wantReindexes)
+			}
+		})
+	}
+
+	// t=0: first transmit builds synchronously and primes the pipeline.
+	transmitAt(0, 0)
+	check(0, 0, 1, "initial build")
+	// t=1.5 s: past the 1 s interval; the prepared epoch-1s grid is 0.5 s
+	// stale — inside the window — so it must swap in with lastIndex = 1 s.
+	transmitAt(sim.At(1.5), 1)
+	check(sim.At(1.5), sim.At(1), 2, "epoch swap")
+	// t=10 s: the in-flight epoch-2s build is 8 s stale — discard and
+	// rebuild synchronously at the query time.
+	transmitAt(sim.At(10), 2)
+	check(sim.At(10), sim.At(10), 3, "gap discard")
+
+	if err := eng.Run(sim.At(12)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStopWorkersMidFlight: tearing the helpers down while an epoch build
+// is in flight (the cancellation-mid-epoch case: World.Run's deferred
+// StopWorkers runs whatever state the interrupt left behind) must not
+// deadlock or leak, must be idempotent, and must leave the channel able to
+// lazily respin its helpers if the world keeps running — with results
+// still identical to an uninterrupted sequential run.
+func TestStopWorkersMidFlight(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{ReindexInterval: sim.Second, SpeedBound: 4, Workers: 2}
+	ch := NewChannelWithConfig(eng, DefaultParams(), cfg)
+	ch.SetPositionTable(mobility.NewTable(movingPopulation(40, 350)))
+	for i := 0; i < 40; i++ {
+		ch.AttachRadio(pkt.NodeID(i), nil, &collector{})
+	}
+
+	// Phase 1: run far enough that a precompute request is in flight.
+	eng.ScheduleIn(0, func() { ch.Radio(0).Transmit("a", sim.Millis(1)) })
+	if err := eng.Run(sim.At(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if ch.pre == nil || !ch.pre.inflight {
+		t.Fatal("expected an in-flight precompute after the first transmit")
+	}
+	ch.StopWorkers() // must join the mid-epoch build without deadlock
+	ch.StopWorkers() // idempotent
+	if ch.pre != nil {
+		t.Fatal("precomputer not torn down")
+	}
+
+	// Phase 2: the next transmit lazily respins the helpers.
+	eng.ScheduleIn(sim.Second, func() { ch.Radio(1).Transmit("b", sim.Millis(1)) })
+	if err := eng.Run(sim.At(2)); err != nil {
+		t.Fatal(err)
+	}
+	if ch.pre == nil {
+		t.Fatal("parallel helpers did not respin after StopWorkers")
+	}
+	ch.StopWorkers()
+	if ch.Transmissions != 2 || ch.Deliveries == 0 {
+		t.Fatalf("phased run delivered nothing: tx=%d del=%d", ch.Transmissions, ch.Deliveries)
+	}
+}

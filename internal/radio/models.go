@@ -3,6 +3,7 @@ package radio
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"adhocsim/internal/phy"
 	"adhocsim/internal/pkt"
@@ -39,8 +40,11 @@ type Shadowing struct {
 	Seed     int64
 
 	// cache memoises per-link linear gains. A simulation run owns its
-	// RadioParams (scenario.Generate builds fresh ones per run), so the
-	// map is single-goroutine like the rest of the engine.
+	// RadioParams (scenario.Generate builds fresh ones per run), but the
+	// parallel transmit fan-out probes links from a worker pool, so the
+	// map is guarded; the draw itself is a pure function of (seed, link),
+	// so a racing double-compute stores the same value twice.
+	mu    sync.RWMutex
 	cache map[uint64]float64
 }
 
@@ -66,7 +70,10 @@ func (s *Shadowing) LinkGain(a, b pkt.NodeID) float64 {
 		i, j = j, i
 	}
 	key := uint64(uint32(i))<<32 | uint64(uint32(j))
-	if g, ok := s.cache[key]; ok {
+	s.mu.RLock()
+	g, ok := s.cache[key]
+	s.mu.RUnlock()
+	if ok {
 		return g
 	}
 	z, _ := gaussPair(sim.DeriveSeed(s.Seed, fmt.Sprintf("shadow|%d|%d", i, j)))
@@ -76,10 +83,19 @@ func (s *Shadowing) LinkGain(a, b pkt.NodeID) float64 {
 	} else if dev < -s.MaxDevDB {
 		dev = -s.MaxDevDB
 	}
-	g := dbToLinear(dev)
+	g = dbToLinear(dev)
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = make(map[uint64]float64)
+	}
 	s.cache[key] = g
+	s.mu.Unlock()
 	return g
 }
+
+// ConcurrentSafe implements phy.ConcurrentPropagation: the gain cache is
+// mutex-guarded and every draw is a pure function of (seed, link).
+func (s *Shadowing) ConcurrentSafe() {}
 
 // LinkRxPower implements phy.LinkPropagation.
 func (s *Shadowing) LinkRxPower(txPower, d float64, from, to pkt.NodeID, _ uint64) float64 {
@@ -139,3 +155,7 @@ func (f *Fading) LinkRxPower(txPower, d float64, from, to pkt.NodeID, txSeq uint
 
 // MaxGainLinear implements phy.GainBounded.
 func (f *Fading) MaxGainLinear() float64 { return f.MaxGain }
+
+// ConcurrentSafe implements phy.ConcurrentPropagation: every leg draw is a
+// stateless pure function of (seed, from, to, txSeq).
+func (f *Fading) ConcurrentSafe() {}

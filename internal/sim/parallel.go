@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool for intra-run data parallelism: fanning
+// one event's pure per-item work (the channel's per-receiver propagation
+// math) across cores while the simulation goroutine keeps exclusive
+// ownership of all mutable state. It is deliberately not a general task
+// queue — one ParallelFor runs at a time, submitted and joined by the
+// single simulation goroutine, so the engine's sequential semantics are
+// preserved: by the time ParallelFor returns, every worker is idle again
+// and all writes made by the chunks happen-before the caller's next read.
+//
+// Workers are started lazily on the first ParallelFor and tagged with a
+// pprof "phase" label so CPU profiles attribute parallel time to the
+// subsystem that spawned it. Stop tears the workers down; the pool restarts
+// itself on the next ParallelFor, so a stopped pool never strands work.
+type Pool struct {
+	workers int
+	label   string
+	jobs    chan *poolJob
+	wg      sync.WaitGroup
+	started bool
+	job     poolJob // the single in-flight job, reused across calls
+}
+
+// poolJob is one ParallelFor invocation: an index range [0, n) consumed in
+// grain-sized chunks through an atomic cursor by every worker plus the
+// submitting goroutine.
+type poolJob struct {
+	fn    func(lo, hi int)
+	n     int
+	grain int
+	next  atomic.Int64
+	done  sync.WaitGroup
+}
+
+func (j *poolJob) run() {
+	defer j.done.Done()
+	for {
+		hi := int(j.next.Add(int64(j.grain)))
+		lo := hi - j.grain
+		if lo >= j.n {
+			return
+		}
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+	}
+}
+
+// NewPool creates a pool of `workers` goroutines (none started yet) whose
+// profiles are labelled phase=label.
+func NewPool(workers int, label string) *Pool {
+	return &Pool{workers: workers, label: label}
+}
+
+// Workers returns the pool's configured worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+func (p *Pool) start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.jobs = make(chan *poolJob, p.workers)
+	p.wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("phase", p.label)))
+			for j := range p.jobs {
+				j.run()
+			}
+		}()
+	}
+}
+
+// ParallelFor invokes fn over the index range [0, n) split into grain-sized
+// chunks, running chunks on the pool workers and on the calling goroutine,
+// and returns only when every chunk has completed. fn must be safe to call
+// concurrently on disjoint ranges and must not call back into the pool.
+// With n ≤ grain (or a nil/empty pool) the whole range runs inline on the
+// caller — the sequential fast path costs one comparison.
+func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p == nil || p.workers < 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	p.start()
+	j := &p.job
+	j.fn, j.n, j.grain = fn, n, grain
+	j.next.Store(0)
+	// Every worker plus the caller joins the chunk race; the buffered
+	// channel holds one notification per worker so submission never blocks.
+	j.done.Add(p.workers + 1)
+	for i := 0; i < p.workers; i++ {
+		p.jobs <- j
+	}
+	j.run()
+	j.done.Wait()
+	j.fn = nil
+}
+
+// Stop terminates the worker goroutines and waits for them to exit. The
+// pool restarts lazily on the next ParallelFor, so Stop is safe to call
+// between phased runs; calling it on a never-started or already-stopped
+// pool is a no-op.
+func (p *Pool) Stop() {
+	if p == nil || !p.started {
+		return
+	}
+	close(p.jobs)
+	p.wg.Wait()
+	p.started = false
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolParallelForCoversRange: every index in [0, n) is visited exactly
+// once, across assorted n/grain shapes including the inline fast path.
+func TestPoolParallelForCoversRange(t *testing.T) {
+	p := NewPool(3, "test")
+	defer p.Stop()
+	for _, tc := range []struct{ n, grain int }{
+		{0, 8}, {1, 8}, {7, 8}, {8, 8}, {9, 8}, {64, 8}, {1000, 7}, {5, 0},
+	} {
+		hits := make([]int32, tc.n)
+		p.ParallelFor(tc.n, tc.grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d grain=%d: index %d visited %d times", tc.n, tc.grain, i, h)
+			}
+		}
+	}
+}
+
+// TestPoolSequentialBelowGrain: with n ≤ grain the whole range must run on
+// the calling goroutine (no workers started, so Stop stays a no-op).
+func TestPoolSequentialBelowGrain(t *testing.T) {
+	p := NewPool(4, "test")
+	before := runtime.NumGoroutine()
+	ran := false
+	p.ParallelFor(8, 8, func(lo, hi int) {
+		if lo != 0 || hi != 8 {
+			t.Fatalf("inline path split the range: [%d, %d)", lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("fn not invoked")
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("inline ParallelFor started goroutines: %d -> %d", before, after)
+	}
+	p.Stop()
+}
+
+// TestPoolRestartsAfterStop: Stop tears the workers down; the next
+// ParallelFor must transparently restart them and still cover the range.
+func TestPoolRestartsAfterStop(t *testing.T) {
+	p := NewPool(2, "test")
+	var sum atomic.Int64
+	for round := 0; round < 3; round++ {
+		sum.Store(0)
+		p.ParallelFor(100, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("round %d: sum = %d, want 4950", round, got)
+		}
+		p.Stop()
+		p.Stop() // idempotent
+	}
+}
+
+// TestPoolNilSafe: a nil pool degrades to the inline path.
+func TestPoolNilSafe(t *testing.T) {
+	var p *Pool
+	n := 0
+	p.ParallelFor(10, 3, func(lo, hi int) { n += hi - lo })
+	if n != 10 {
+		t.Fatalf("nil pool covered %d of 10", n)
+	}
+	p.Stop()
+	if p.Workers() != 0 {
+		t.Fatal("nil pool reports workers")
+	}
+}
