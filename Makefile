@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test figs bench bench-baseline bench-compare profile race race-parallel campaign-smoke dist-smoke scenario-smoke radio-smoke
+.PHONY: verify fmt vet build test figs bench bench-baseline bench-compare profile race race-parallel campaign-smoke dist-smoke scenario-smoke radio-smoke churn-smoke
 
 ## verify: the tier-1 gate — formatting, vet, build, tests.
 verify: fmt vet build test
@@ -61,6 +61,13 @@ scenario-smoke:
 ## the cumulative-interference path).
 radio-smoke:
 	$(GO) run ./examples/radio_matrix
+
+## churn-smoke: run the address-autoconfiguration protocol across a churn
+## model × population matrix through the adhocd HTTP API on a loopback
+## port, asserting every cell reports membership churn plus converged
+## time_to_converge / addr_collision_rate summaries in the results JSON.
+churn-smoke:
+	$(GO) run ./cmd/adhocd -smoke-churn
 
 ## bench: smoke-scale benchmarks (1 iteration each, shape check).
 bench:

@@ -64,6 +64,18 @@
 //	spec.Radio = adhocsim.RadioSpec{Name: "shadowing", Params: map[string]float64{"sigma_db": 6}, SINR: true}
 //	grid, err := adhocsim.Grid(ctx, opts, adhocsim.MobilityModelAxis(nil), adhocsim.TrafficModelAxis(nil))
 //
+// Node lifecycle is a fourth registry: Spec.Lifecycle names a churn model
+// (staggered joins, flash crowds, on/off failures, region-wide partitions)
+// that compiles into a deterministic per-run schedule of join/leave/fail/
+// recover events, RegisterLifecycleModel plugs in new ones, and
+// ChurnModelAxis sweeps the membership dimension. The AUTOCONF protocol
+// (randomized address claim → probe → defend) pairs with it to study
+// network initialization, reporting time_to_converge and
+// addr_collision_rate:
+//
+//	spec.Lifecycle = adhocsim.LifecycleSpec{Name: "onoff-fail", Params: map[string]float64{"mean_up_s": 60}}
+//	res, err := adhocsim.Run(adhocsim.RunConfig{Spec: spec, Protocol: adhocsim.Autoconf, Seed: 1})
+//
 // Long experiments are cancellable and observable: every runner threads a
 // context.Context down into the event loop (cancellation aborts promptly
 // with ctx.Err()), and Options.OnProgress receives a callback after every
@@ -90,6 +102,7 @@ import (
 
 	"adhocsim/internal/core"
 	"adhocsim/internal/geo"
+	"adhocsim/internal/lifecycle"
 	"adhocsim/internal/mac"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/network"
@@ -110,6 +123,10 @@ const (
 	CBRP  = core.CBRP
 	DSDV  = core.DSDV
 	Flood = core.Flood
+	// Autoconf is the randomized address-autoconfiguration protocol
+	// (claim → probe → defend); pair it with Spec.Lifecycle to study
+	// network initialization under churn.
+	Autoconf = core.Autoconf
 )
 
 // StudyProtocols returns the five protocols of the IPPS'01 comparison.
@@ -147,6 +164,12 @@ type TrafficSpec = scenario.TrafficSpec
 // zero value is the study's two-ray ground with pairwise capture. SINR
 // switches reception to the cumulative-interference model.
 type RadioSpec = scenario.RadioSpec
+
+// LifecycleSpec selects a registered node-lifecycle (churn) model inside a
+// Spec ({"name": "onoff-fail", "params": {"mean_up_s": 60}}); the zero
+// value is the study's static membership, bit-identical to a spec without
+// the field.
+type LifecycleSpec = scenario.LifecycleSpec
 
 // Scenario-model extension surface: the types an external mobility or
 // traffic model implements against, re-exported so registrations need no
@@ -188,6 +211,26 @@ type (
 	// GainBounded declares a stochastic propagation model's upward power
 	// bound so the spatial index stays exact.
 	GainBounded = phy.GainBounded
+	// LifecycleModel derives a deterministic membership schedule; see
+	// RegisterLifecycleModel.
+	LifecycleModel = lifecycle.Model
+	// LifecycleEnv carries the spec-level population/duration/area fields
+	// (and a position oracle) into a lifecycle model builder.
+	LifecycleEnv = lifecycle.Env
+	// LifecycleParams is the parameter map view handed to lifecycle builders.
+	LifecycleParams = lifecycle.Params
+	// LifecycleBuilder constructs a lifecycle model; see RegisterLifecycleModel.
+	LifecycleBuilder = lifecycle.Builder
+	// LifecycleEvent is one scheduled membership transition.
+	LifecycleEvent = lifecycle.Event
+	// LifecycleEventKind labels a membership transition (join/leave/fail/recover).
+	LifecycleEventKind = lifecycle.EventKind
+	// LifecycleAware is the optional protocol extension receiving Up/Down
+	// hooks at membership transitions.
+	LifecycleAware = network.LifecycleAware
+	// Autoconfigured is the optional protocol extension exposing address-
+	// autoconfiguration state to the end-of-run census.
+	Autoconfigured = network.Autoconfigured
 )
 
 // RegisterMobilityModel plugs a new mobility model into the registry under
@@ -214,6 +257,17 @@ func RegisteredTrafficModels() []string { return traffic.Registered() }
 
 // RegisteredRadioModels lists every radio model name, sorted.
 func RegisteredRadioModels() []string { return radio.Registered() }
+
+// RegisterLifecycleModel plugs a new node-lifecycle (churn) model into the
+// registry under the given case-insensitive name. Once registered it is
+// selectable everywhere a built-in is: Spec.Lifecycle, campaign patches and
+// axes, and the cmd tools.
+func RegisterLifecycleModel(name string, b LifecycleBuilder) error {
+	return lifecycle.Register(name, b)
+}
+
+// RegisteredLifecycleModels lists every lifecycle model name, sorted.
+func RegisteredLifecycleModels() []string { return lifecycle.Registered() }
 
 // Rect is the simulation area type used in Spec.
 type Rect = geo.Rect
@@ -384,6 +438,7 @@ func PayloadAxis(vs []float64) Axis   { return core.PayloadAxis(vs) }
 func MobilityModelAxis(names []string) Axis { return core.MobilityModelAxis(names) }
 func TrafficModelAxis(names []string) Axis  { return core.TrafficModelAxis(names) }
 func RadioModelAxis(names []string) Axis    { return core.RadioModelAxis(names) }
+func ChurnModelAxis(names []string) Axis    { return core.ChurnModelAxis(names) }
 func ModelAxisByName(name string, models []string) (Axis, error) {
 	return core.ModelAxisByName(name, models)
 }
@@ -435,4 +490,7 @@ var (
 	MetricThroughput = core.MetricThroughput
 	MetricMacLoad    = core.MetricMacLoad
 	MetricAvgHops    = core.MetricAvgHops
+	// Autoconfiguration metrics, populated by the AUTOCONF census.
+	MetricTimeToConverge    = core.MetricTimeToConverge
+	MetricAddrCollisionRate = core.MetricAddrCollisionRate
 )

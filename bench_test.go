@@ -426,6 +426,37 @@ func BenchmarkSingleRunCityScale(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRunCityScaleChurn prices dynamic membership at city
+// scale: the 10k-node calendar-queue run under the alternating-renewal
+// failure model, so thousands of nodes fail and recover mid-run. The delta
+// against the churn-free 10k-calendar tier prices the liveness bitmap on
+// the transmit hot path plus the Down/Up membership events themselves.
+func BenchmarkSingleRunCityScaleChurn(b *testing.B) {
+	spec := cityScaleSpec(10000)
+	spec.Lifecycle = adhocsim.LifecycleSpec{
+		Name:   "onoff-fail",
+		Params: map[string]float64{"mean_up_s": 30, "mean_down_s": 10},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := adhocsim.Run(adhocsim.RunConfig{
+			Spec:     spec,
+			Protocol: adhocsim.CBRP,
+			Seed:     1,
+			Phy: adhocsim.PhyConfig{
+				ReindexInterval: 5 * sim.Second,
+				Scheduler:       adhocsim.QueueCalendar,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Joins+res.Leaves == 0 {
+			b.Fatal("city-scale churn run recorded no membership transitions")
+		}
+	}
+}
+
 // TestLargeNAllocationBudget is the allocation-regression tripwire behind
 // the b.ReportAllocs numbers: one 200-node large-N run must stay under a
 // generous heap-allocation budget. The hot paths are pooled (events,

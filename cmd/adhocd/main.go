@@ -66,6 +66,7 @@ func main() {
 		join       = flag.String("join", "", "coordinator URL to join in worker mode")
 		smoke      = flag.Bool("smoke", false, "run the single-process loopback smoke test and exit")
 		smokeDist  = flag.Bool("smoke-dist", false, "run the distributed smoke test (coordinator + 2 worker processes) and exit")
+		smokeChurn = flag.Bool("smoke-churn", false, "run the churn×scale autoconfiguration smoke test and exit")
 	)
 	flag.Parse()
 
@@ -93,6 +94,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("campaign smoke OK")
+		return
+	}
+	if *smokeChurn {
+		if err := runSmokeChurn(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "adhocd: churn smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("churn smoke OK")
 		return
 	}
 
@@ -206,6 +215,24 @@ const smokeSpec = `{
   "max_reps": 2
 }`
 
+// churnSpec is the churn×scale network-initialization campaign of the churn
+// smoke test: the AUTOCONF protocol crossed over two lifecycle models
+// (Ravelomanana-style staggered bootstrap and a flash-crowd burst) and two
+// population scales, exercising the lifecycle registry, the membership-aware
+// hot path and the autoconfiguration census end to end over HTTP.
+const churnSpec = `{
+  "name": "churn-smoke",
+  "base": {
+    "nodes": 10, "area_w_m": 600, "duration_s": 45, "sources": 3
+  },
+  "protocols": ["AUTOCONF"],
+  "axes": [
+    {"name": "lifecycle", "models": ["staggered-join", "flashcrowd"]},
+    {"name": "nodes", "values": [10, 20]}
+  ],
+  "max_reps": 2
+}`
+
 // serveLoopback binds a loopback port and serves the handler on it.
 func serveLoopback(h http.Handler) (base string, stop func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -222,10 +249,10 @@ type createdInfo struct {
 	MaxRuns int    `json:"max_runs"`
 }
 
-// submitCampaign POSTs the smoke spec.
-func submitCampaign(base string) (createdInfo, error) {
+// submitCampaign POSTs a campaign spec.
+func submitCampaign(base, spec string) (createdInfo, error) {
 	var created createdInfo
-	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(smokeSpec))
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(spec))
 	if err != nil {
 		return created, err
 	}
@@ -284,7 +311,7 @@ func runSmoke(srv *adhocsim.DistServer) error {
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "adhocd: smoke server on %s\n", base)
 
-	created, err := submitCampaign(base)
+	created, err := submitCampaign(base, smokeSpec)
 	if err != nil {
 		return err
 	}
@@ -336,6 +363,68 @@ func runSmoke(srv *adhocsim.DistServer) error {
 	return nil
 }
 
+// runSmokeChurn submits the churn×scale autoconfiguration campaign over
+// loopback HTTP and asserts the membership-aware metric plumbing end to end:
+// every cell must report joins, a positive time_to_converge with its CI95
+// summary, and an addr_collision_rate in [0,1].
+func runSmokeChurn(srv *adhocsim.DistServer) error {
+	base, stop, err := serveLoopback(srv.Handler())
+	if err != nil {
+		return err
+	}
+	defer stop()
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "adhocd: churn smoke server on %s\n", base)
+
+	created, err := submitCampaign(base, churnSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "adhocd: churn campaign %s (%d runs max)\n", created.ID, created.MaxRuns)
+	if _, err := waitDone(base, created.ID, 5*time.Minute); err != nil {
+		return err
+	}
+	result, err := fetchResults(base, created.ID)
+	if err != nil {
+		return err
+	}
+	if len(result.Cells) != 4 {
+		return fmt.Errorf("expected 4 cells (2 lifecycle models × 2 scales), got %d", len(result.Cells))
+	}
+	for _, cell := range result.Cells {
+		if cell.Merged.Joins == 0 {
+			return fmt.Errorf("cell %s saw no join events", cell.Label)
+		}
+		ttc, ok := cell.Metrics["time_to_converge"]
+		if !ok {
+			return fmt.Errorf("cell %s has no time_to_converge metric", cell.Label)
+		}
+		if ttc.Mean <= 0 {
+			return fmt.Errorf("cell %s time_to_converge %v not positive", cell.Label, ttc.Mean)
+		}
+		acr, ok := cell.Metrics["addr_collision_rate"]
+		if !ok {
+			return fmt.Errorf("cell %s has no addr_collision_rate metric", cell.Label)
+		}
+		if acr.Mean < 0 || acr.Mean > 1 {
+			return fmt.Errorf("cell %s addr_collision_rate %v outside [0,1]", cell.Label, acr.Mean)
+		}
+		fmt.Fprintf(os.Stderr, "adhocd: churn %-40s joins %d, ttc %.2fs ±%.2f (n=%d), collisions %.4f\n",
+			cell.Label, cell.Merged.Joins, ttc.Mean, ttc.CI95, ttc.N, acr.Mean)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/campaigns/"+created.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	var final adhocsim.CampaignSnapshot
+	if err := decode(resp, http.StatusOK, &final); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	return nil
+}
+
 // runSmokeDist is the distributed smoke test: a pure coordinator plus two
 // worker child processes over loopback, one of which is SIGKILLed
 // mid-campaign and replaced. Asserts the three distribution invariants:
@@ -360,7 +449,7 @@ func runSmokeDist() error {
 	if err != nil {
 		return err
 	}
-	refCreated, err := submitCampaign(refBase)
+	refCreated, err := submitCampaign(refBase, smokeSpec)
 	if err == nil {
 		_, err = waitDone(refBase, refCreated.ID, 5*time.Minute)
 	}
@@ -402,7 +491,7 @@ func runSmokeDist() error {
 	}
 	defer reapWorker(w2)
 
-	created, err := submitCampaign(base)
+	created, err := submitCampaign(base, smokeSpec)
 	if err != nil {
 		return err
 	}
@@ -457,7 +546,7 @@ func runSmokeDist() error {
 	}
 	defer stop2()
 	defer coord2.Close()
-	created2, err := submitCampaign(base2)
+	created2, err := submitCampaign(base2, smokeSpec)
 	if err != nil {
 		return err
 	}

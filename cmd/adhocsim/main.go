@@ -7,7 +7,9 @@
 //	adhocsim -proto DSR -nodes 40 -pause 0 -speed 20 -sources 10 -dur 150 -seed 1
 //	adhocsim -proto AODV -mobility gauss-markov,alpha=0.85 -traffic expoo,on_s=0.5,off_s=1
 //	adhocsim -proto DSR -radio shadowing,sigma_db=6 -sinr
+//	adhocsim -proto AUTOCONF -lifecycle onoff-fail,mean_up_s=60 -dur 120
 //	adhocsim -campaign spec.json -checkpoint run.jsonl
+//	adhocsim -list-models
 package main
 
 import (
@@ -25,8 +27,12 @@ import (
 	"strings"
 
 	"adhocsim"
+	lifecyclereg "adhocsim/internal/lifecycle"
 	"adhocsim/internal/metrics"
+	mobilityreg "adhocsim/internal/mobility"
+	radioreg "adhocsim/internal/radio"
 	"adhocsim/internal/trace"
+	trafficreg "adhocsim/internal/traffic"
 )
 
 // parseModelFlag parses "name" or "name,key=value,key=value" into a model
@@ -55,6 +61,37 @@ func parseModelFlag(flagName, s string) (string, map[string]float64) {
 		params[strings.TrimSpace(key)] = x
 	}
 	return name, params
+}
+
+// listModels enumerates every registry — routing protocols plus the four
+// scenario-model registries — with each model's parameter vocabulary,
+// discovered by dry-building the model and observing which keys it reads.
+func listModels(w io.Writer) {
+	fmt.Fprintf(w, "protocols: %s\n", strings.Join(adhocsim.RegisteredProtocols(), ", "))
+	kinds := []struct {
+		kind   string
+		names  []string
+		params func(string) ([]string, error)
+	}{
+		{"mobility", mobilityreg.Registered(), mobilityreg.ParamNames},
+		{"traffic", trafficreg.Registered(), trafficreg.ParamNames},
+		{"radio", radioreg.Registered(), radioreg.ParamNames},
+		{"lifecycle", lifecyclereg.Registered(), lifecyclereg.ParamNames},
+	}
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%s models:\n", k.kind)
+		for _, name := range k.names {
+			params, err := k.params(name)
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "  %-16s (error: %v)\n", name, err)
+			case len(params) == 0:
+				fmt.Fprintf(w, "  %-16s (no parameters)\n", name)
+			default:
+				fmt.Fprintf(w, "  %-16s %s\n", name, strings.Join(params, ", "))
+			}
+		}
+	}
 }
 
 // runCampaign executes a campaign spec end to end: progress on stderr, the
@@ -121,6 +158,8 @@ func main() {
 		mobility    = flag.String("mobility", "", "mobility model, optionally with parameters (\"gauss-markov,alpha=0.85\"); models: "+strings.Join(adhocsim.RegisteredMobilityModels(), ", "))
 		traffic     = flag.String("traffic", "", "traffic model, optionally with parameters (\"expoo,on_s=0.5\"); models: "+strings.Join(adhocsim.RegisteredTrafficModels(), ", "))
 		radio       = flag.String("radio", "", "radio model, optionally with parameters (\"shadowing,sigma_db=6\"); models: "+strings.Join(adhocsim.RegisteredRadioModels(), ", "))
+		lcModel     = flag.String("lifecycle", "", "node-lifecycle (churn) model, optionally with parameters (\"onoff-fail,mean_up_s=60\"); models: "+strings.Join(adhocsim.RegisteredLifecycleModels(), ", "))
+		listModelsF = flag.Bool("list-models", false, "list every registered protocol and scenario model (with parameter names) and exit")
 		sinr        = flag.Bool("sinr", false, "cumulative-interference SINR reception instead of pairwise capture")
 		seed        = flag.Int64("seed", 1, "scenario seed")
 		seeds       = flag.Int("seeds", 1, "number of replication seeds (averaged)")
@@ -139,6 +178,11 @@ func main() {
 		workers      = flag.Int("workers", 0, "campaigns: worker pool size (0 = GOMAXPROCS); single runs: intra-run transmit fan-out workers (0 = sequential; results are identical either way)")
 	)
 	flag.Parse()
+
+	if *listModelsF {
+		listModels(os.Stdout)
+		return
+	}
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "adhocsim: -workers %d: worker count cannot be negative\n", *workers)
@@ -207,6 +251,8 @@ func main() {
 	spec.Traffic = adhocsim.TrafficSpec{Name: traName, Params: traParams}
 	radName, radParams := parseModelFlag("radio", *radio)
 	spec.Radio = adhocsim.RadioSpec{Name: radName, Params: radParams, SINR: *sinr}
+	lcName, lcParams := parseModelFlag("lifecycle", *lcModel)
+	spec.Lifecycle = adhocsim.LifecycleSpec{Name: lcName, Params: lcParams}
 
 	var seedList []int64
 	for i := 0; i < *seeds; i++ {
@@ -287,7 +333,7 @@ func main() {
 	fmt.Printf("protocol            %s\n", strings.ToUpper(*proto))
 	fmt.Printf("scenario            %d nodes, %.0fx%.0f m, pause %.0fs, speed %.0f m/s, %d srcs @ %.1f pkt/s, %.0fs\n",
 		*nodes, *areaW, *areaH, *pause, *speed, *sources, *rate, *dur)
-	if mobName != "" || traName != "" || radName != "" || *sinr {
+	if mobName != "" || traName != "" || radName != "" || lcName != "" || *sinr {
 		showModel := func(name, def string) string {
 			if name == "" {
 				return def + " (default)"
@@ -298,9 +344,9 @@ func main() {
 		if *sinr {
 			reception = "sinr"
 		}
-		fmt.Printf("models              mobility %s, traffic %s, radio %s (%s)\n",
+		fmt.Printf("models              mobility %s, traffic %s, radio %s (%s), lifecycle %s\n",
 			showModel(mobName, "waypoint"), showModel(traName, "cbr"),
-			showModel(radName, "tworay"), reception)
+			showModel(radName, "tworay"), reception, showModel(lcName, "static"))
 	}
 	fmt.Printf("data sent/received  %d / %d (+%d dup)\n", res.DataSent, res.DataDelivered, res.DupDelivered)
 	fmt.Printf("packet delivery     %.2f %%\n", res.PDR*100)
@@ -310,6 +356,13 @@ func main() {
 		res.RoutingTxPackets, float64(res.RoutingTxBytes)/1000, res.NormalizedRoutingLoad)
 	fmt.Printf("MAC ctl frames      %d, normalized MAC load %.2f\n", res.MacCtlFrames, res.NormalizedMacLoad)
 	fmt.Printf("avg hops            %.2f (optimal-path share %.1f %%)\n", res.AvgHops, res.PathOptimalityShare()*100)
+	if res.Joins > 0 || res.Leaves > 0 {
+		fmt.Printf("membership churn    %d joins, %d leaves\n", res.Joins, res.Leaves)
+	}
+	if res.TimeToConverge > 0 || res.AddrCollisionRate > 0 {
+		fmt.Printf("autoconfiguration   converged in %.2f s, addr collision rate %.4f\n",
+			res.TimeToConverge, res.AddrCollisionRate)
+	}
 
 	if *verbose {
 		fmt.Println("\ndrops:")

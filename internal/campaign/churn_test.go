@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adhocsim/internal/core"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
+)
+
+// churnSpec sweeps the address-autoconfiguration protocol across a churn
+// axis — the lifecycle analogue of resumeSpec. The 45 s horizon leaves
+// room for the staggered-join default 30 s window, so the axis's
+// default-parameter models all pass scenario validation.
+func churnSpec() Spec {
+	sc := scenario.Default()
+	sc.Nodes = 10
+	sc.Area.W = 600
+	sc.Duration = 45 * sim.Second
+	sc.Sources = 3
+	return Spec{
+		Name:      "churn-test",
+		Scenario:  &sc,
+		Protocols: []string{core.Autoconf},
+		Axes:      []AxisSpec{{Name: "lifecycle", Models: []string{"staggered-join", "onoff-fail"}}},
+		MaxReps:   2,
+		BaseSeed:  11,
+	}
+}
+
+// TestChurnCampaignMetrics: a churn × autoconf campaign must surface the
+// lifecycle metrics end to end — membership counters in the merged stats
+// and time_to_converge / addr_collision_rate summaries per cell.
+func TestChurnCampaignMetrics(t *testing.T) {
+	res, err := Run(context.Background(), churnSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells, want 2 (one per churn model)", len(res.Cells))
+	}
+	for _, cell := range res.Cells {
+		if cell.Merged.Joins == 0 {
+			t.Errorf("%s: no joins recorded under a churn model", cell.Label)
+		}
+		ttc, ok := cell.Metrics["time_to_converge"]
+		if !ok {
+			t.Fatalf("%s: no time_to_converge summary; metrics: %v", cell.Label, metricNames(cell))
+		}
+		if ttc.Mean <= 0 || ttc.Mean > 45 {
+			t.Errorf("%s: time_to_converge mean %v outside (0,45]s", cell.Label, ttc.Mean)
+		}
+		coll, ok := cell.Metrics["addr_collision_rate"]
+		if !ok {
+			t.Fatalf("%s: no addr_collision_rate summary", cell.Label)
+		}
+		if coll.Mean < 0 || coll.Mean > 1 {
+			t.Errorf("%s: addr_collision_rate mean %v outside [0,1]", cell.Label, coll.Mean)
+		}
+	}
+	onoff := res.Cells[indexOfLabel(t, res, "onoff-fail")]
+	if onoff.Merged.Leaves == 0 {
+		t.Errorf("onoff-fail cell recorded no leaves: %+v", onoff.Merged)
+	}
+}
+
+func metricNames(c CellResult) []string {
+	var names []string
+	for k := range c.Metrics {
+		names = append(names, k)
+	}
+	return names
+}
+
+func indexOfLabel(t *testing.T, res *Result, substr string) int {
+	t.Helper()
+	for i, c := range res.Cells {
+		if strings.Contains(c.Label, substr) {
+			return i
+		}
+	}
+	t.Fatalf("no cell labelled %q in %v", substr, res.AxisLabels)
+	return -1
+}
+
+// TestChurnCampaignResumeAndWorkerParity: the determinism guarantees the
+// campaign engine makes for fixed populations must survive a churn axis —
+// a journal-prefix resume and every worker-pool width aggregate to
+// reflect.DeepEqual Results.
+func TestChurnCampaignResumeAndWorkerParity(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	basePath := filepath.Join(dir, "churn.jsonl")
+	want, err := Run(ctx, churnSpec(), Options{JournalPath: basePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker-pool width is execution-only: it must not leak into results.
+	for _, workers := range []int{1, 4} {
+		got, err := Run(ctx, churnSpec(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d campaign diverges from journaled run", workers)
+		}
+	}
+
+	header, entries := journalLines(t, basePath)
+	if len(entries) != 4 { // 2 cells × 2 reps
+		t.Fatalf("journal holds %d entries, want 4", len(entries))
+	}
+	for _, k := range []int{1, 3} {
+		path := filepath.Join(dir, "prefix.jsonl")
+		content := header + "\n" + strings.Join(entries[:k], "\n") + "\n"
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(churnSpec(), Options{JournalPath: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Run(ctx)
+		if err != nil {
+			t.Fatalf("resume after %d entries: %v", k, err)
+		}
+		if snap := c.Snapshot(); snap.RunsFromJournal != k {
+			t.Fatalf("resume after %d entries replayed %d", k, snap.RunsFromJournal)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("churn campaign resumed after %d entries diverges", k)
+		}
+		os.Remove(path)
+	}
+}
+
+// TestChurnAxisRejectsOutOfHorizonModel: the lifecycle dry-run fires at
+// plan expansion, so a churn model whose schedule cannot fit the scenario
+// fails at submission time.
+func TestChurnAxisRejectsOutOfHorizonModel(t *testing.T) {
+	spec := churnSpec()
+	sc := *spec.Scenario
+	sc.Duration = 10 * sim.Second // staggered-join default window is 30 s
+	spec.Scenario = &sc
+	if _, err := spec.Expand(); err == nil {
+		t.Fatal("Expand accepted a churn axis whose joins fall past the run horizon")
+	}
+}

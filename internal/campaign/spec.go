@@ -72,6 +72,10 @@ type ScenarioPatch struct {
 	// {"sigma_db": 6}, "sinr": true}. Absent keeps the study radio
 	// (two-ray ground, pairwise capture).
 	Radio *scenario.RadioSpec `json:"radio,omitempty"`
+	// Lifecycle selects a registered node-lifecycle (churn) model by name
+	// with optional parameters, e.g. {"name": "onoff-fail", "params":
+	// {"mean_up_s": 60}}. Absent keeps the study's static membership.
+	Lifecycle *scenario.LifecycleSpec `json:"lifecycle,omitempty"`
 	// Workers enables intra-run parallelism (phy.Config.Workers) for every
 	// unit of the campaign. It is an execution knob, not a scenario field:
 	// results are byte-identical at any worker count, so it deliberately
@@ -129,6 +133,9 @@ func (p ScenarioPatch) apply(s *scenario.Spec) {
 	}
 	if p.Radio != nil {
 		s.Radio = *p.Radio
+	}
+	if p.Lifecycle != nil {
+		s.Lifecycle = *p.Lifecycle
 	}
 }
 
@@ -370,24 +377,38 @@ func (s Spec) Expand() (*Plan, error) {
 		labels[i] = axis.Label
 	}
 
-	// The cell grid enumerates in the same order core.Grid does.
+	// The cell grid enumerates in the same order core.Grid does. Each grid
+	// point's patched scenario is dry-run validated here — a sweep value
+	// that produces an impossible run (a churn window past the horizon, a
+	// source count above a swept-down node count) fails at submission time,
+	// not mid-campaign. Points share their spec across protocols, so each
+	// is checked once.
 	cross := core.CrossPoints(axes)
+	pointSpecs := make([]scenario.Spec, len(cross))
+	pointLabels := make([]string, len(cross))
+	for pi, pt := range cross {
+		spec := base
+		label := ""
+		for a := range axes {
+			axes[a].Apply(&spec, pt[a])
+			label += "|" + axes[a].Label + "=" + axes[a].FormatValue(pt[a])
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: cell %q: %w", strings.TrimPrefix(label, "|"), err)
+		}
+		pointSpecs[pi] = spec
+		pointLabels[pi] = label
+	}
 
 	cells := make([]Cell, 0, len(protocols)*len(cross))
 	for _, proto := range protocols {
-		for _, pt := range cross {
-			spec := base
-			label := proto
-			for a := range axes {
-				axes[a].Apply(&spec, pt[a])
-				label += "|" + axes[a].Label + "=" + axes[a].FormatValue(pt[a])
-			}
+		for pi, pt := range cross {
 			cells = append(cells, Cell{
 				Index:    len(cells),
 				Protocol: proto,
 				Point:    pt,
-				Label:    label,
-				spec:     spec,
+				Label:    proto + pointLabels[pi],
+				spec:     pointSpecs[pi],
 			})
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"adhocsim/internal/lifecycle"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/modelreg"
 	"adhocsim/internal/radio"
@@ -339,8 +340,26 @@ func RadioModelAxis(names []string) Axis {
 	})
 }
 
+// ChurnModelAxis sweeps the node-lifecycle (churn) model by registry name —
+// the membership dimension the study held fixed at a static population. Nil
+// names selects every registered model, sorted. Like the other model axes
+// the base spec's own model keeps its tuned Params; switching models resets
+// Params to that model's defaults.
+func ChurnModelAxis(names []string) Axis {
+	if len(names) == 0 {
+		names = lifecycle.Registered()
+	}
+	return modelAxis("lifecycle_model", names, func(s *scenario.Spec, name string) {
+		if sameModelName(s.Lifecycle.Name, name, lifecycle.DefaultModel) {
+			s.Lifecycle.Name = name
+			return
+		}
+		s.Lifecycle = scenario.LifecycleSpec{Name: name}
+	})
+}
+
 // ModelAxisByName resolves the categorical model axes by CLI name
-// ("mobility", "traffic", "radio") with an explicit model-name list (nil
+// ("mobility", "traffic", "radio", "lifecycle") with an explicit model-name list (nil
 // selects the whole registry), validating every name against the registry
 // so a typo fails at expansion time rather than mid-campaign. Duplicate
 // names are rejected: they would expand into cells with identical labels
@@ -377,8 +396,13 @@ func ModelAxisByName(name string, models []string) (Axis, error) {
 			return Axis{}, err
 		}
 		return RadioModelAxis(models), nil
+	case "lifecycle", "lifecycle_model", "churn":
+		if err := checkModels("lifecycle", lifecycle.Known, lifecycle.Registered); err != nil {
+			return Axis{}, err
+		}
+		return ChurnModelAxis(models), nil
 	}
-	return Axis{}, fmt.Errorf("core: axis %q does not take model names (model axes: mobility, traffic, radio)", name)
+	return Axis{}, fmt.Errorf("core: axis %q does not take model names (model axes: mobility, traffic, radio, lifecycle)", name)
 }
 
 // axisConstructors maps CLI-friendly names to catalogue constructors. The
@@ -411,6 +435,13 @@ var axisConstructors = map[string]func([]float64) Axis{
 	},
 	"radio": func(vs []float64) Axis {
 		a := RadioModelAxis(nil)
+		if vs != nil {
+			a = a.WithValues(vs)
+		}
+		return a
+	},
+	"lifecycle": func(vs []float64) Axis {
+		a := ChurnModelAxis(nil)
 		if vs != nil {
 			a = a.WithValues(vs)
 		}

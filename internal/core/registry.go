@@ -9,6 +9,7 @@ import (
 	"adhocsim/internal/network"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing/aodv"
+	"adhocsim/internal/routing/autoconf"
 	"adhocsim/internal/routing/cbrp"
 	"adhocsim/internal/routing/dsdv"
 	"adhocsim/internal/routing/dsr"
@@ -125,5 +126,8 @@ func init() {
 	})
 	mustRegister(Flood, func(bc BuildContext) (network.ProtocolFactory, error) {
 		return flood.Factory(flood.Config{}), nil
+	})
+	mustRegister(Autoconf, func(bc BuildContext) (network.ProtocolFactory, error) {
+		return autoconf.Factory(autoconf.Config{}), nil
 	})
 }

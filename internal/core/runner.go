@@ -44,6 +44,10 @@ const (
 	CBRP  = "CBRP"
 	DSDV  = "DSDV"
 	Flood = "FLOOD"
+	// Autoconf is the randomized address-autoconfiguration protocol
+	// (claim → probe → defend); pair it with a lifecycle model to study
+	// network initialization under churn.
+	Autoconf = "AUTOCONF"
 )
 
 // StudyProtocols are the protocols of the IPPS'01 comparison, in the order
@@ -113,15 +117,16 @@ func Run(ctx context.Context, rc RunConfig) (stats.Results, error) {
 		phyCfg.SINR = true
 	}
 	world, err := network.NewWorld(network.Config{
-		Tracks:   inst.Tracks,
-		Radio:    inst.Radio,
-		Phy:      phyCfg,
-		Mac:      rc.Mac,
-		Protocol: factory,
-		Seed:     rc.Seed ^ 0x5eed,
-		Oracle:   oracle,
-		Tracer:   rc.Tracer,
-		Sinks:    rc.Sinks,
+		Tracks:    inst.Tracks,
+		Radio:     inst.Radio,
+		Phy:       phyCfg,
+		Mac:       rc.Mac,
+		Protocol:  factory,
+		Seed:      rc.Seed ^ 0x5eed,
+		Oracle:    oracle,
+		Tracer:    rc.Tracer,
+		Sinks:     rc.Sinks,
+		Lifecycle: inst.Lifecycle,
 	})
 	if err != nil {
 		return stats.Results{}, err
@@ -409,12 +414,18 @@ var (
 	MetricThroughput = Metric{"throughput", "kbit/s", func(r stats.Results) float64 { return r.ThroughputKbps }}
 	MetricMacLoad    = Metric{"mac_load", "frames/delivered", func(r stats.Results) float64 { return r.NormalizedMacLoad }}
 	MetricAvgHops    = Metric{"avg_hops", "hops", func(r stats.Results) float64 { return r.AvgHops }}
+	// MetricTimeToConverge / MetricAddrCollisionRate are populated by the
+	// address-autoconfiguration census (protocol AUTOCONF); they read zero
+	// for protocols that do not autoconfigure.
+	MetricTimeToConverge    = Metric{"time_to_converge", "s", func(r stats.Results) float64 { return r.TimeToConverge }}
+	MetricAddrCollisionRate = Metric{"addr_collision_rate", "ratio", func(r stats.Results) float64 { return r.AddrCollisionRate }}
 )
 
 // Metrics returns the full metric catalogue in presentation order.
 func Metrics() []Metric {
 	return []Metric{MetricPDR, MetricDelay, MetricOverhead, MetricNRL,
-		MetricThroughput, MetricMacLoad, MetricAvgHops}
+		MetricThroughput, MetricMacLoad, MetricAvgHops,
+		MetricTimeToConverge, MetricAddrCollisionRate}
 }
 
 // MetricByName resolves a catalogue metric by its Name ("pdr", "delay", …),

@@ -1,0 +1,63 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"adhocsim/internal/campaign"
+)
+
+// churnAxisSpec sweeps the autoconfiguration protocol across a churn axis
+// — the lifecycle analogue of testSpec. It arrives at the coordinator as
+// JSON like a real client's submission, so the lifecycle axis and the
+// churn metrics cross the wire encoding both ways.
+func churnAxisSpec() campaign.Spec {
+	nodes, area, dur, sources := 10, 600.0, 45.0, 3
+	return campaign.Spec{
+		Name:      "dist-churn",
+		Base:      campaign.ScenarioPatch{Nodes: &nodes, AreaW: &area, DurationS: &dur, Sources: &sources},
+		Protocols: []string{"AUTOCONF"},
+		Axes:      []campaign.AxisSpec{{Name: "lifecycle", Models: []string{"staggered-join", "onoff-fail"}}},
+		MaxReps:   2,
+	}
+}
+
+// TestDistributedChurnMatchesSingleProcess extends the core distributed
+// determinism claim to dynamic membership: a churn × autoconf campaign
+// executed by remote workers over HTTP aggregates to a result
+// reflect.DeepEqual to the single-process run, and the churn metrics
+// (time_to_converge, addr_collision_rate, membership counters) survive the
+// wire bit-identically.
+func TestDistributedChurnMatchesSingleProcess(t *testing.T) {
+	spec := churnAxisSpec()
+	ref := singleProcessResult(t, spec)
+
+	s, base := newTestServer(t, ServerOptions{LocalWorkers: -1, Cache: NewMemStore()})
+	startWorker(t, base, 2)
+	startWorker(t, base, 2)
+
+	created := submitSpec(t, base, spec)
+	waitDone(t, base, created.ID, time.Minute)
+
+	m := s.lookup(created.ID)
+	if m == nil {
+		t.Fatal("campaign disappeared")
+	}
+	if got := m.c.Result(); !reflect.DeepEqual(ref, got) {
+		t.Errorf("distributed churn result differs from single-process:\nref: %+v\ngot: %+v", ref, got)
+	}
+
+	viaHTTP := httpResults(t, base, created.ID)
+	if !reflect.DeepEqual(*ref, viaHTTP) {
+		t.Error("HTTP-decoded churn result differs from single-process reference")
+	}
+	for _, cell := range viaHTTP.Cells {
+		if cell.Merged.Joins == 0 {
+			t.Errorf("%s: no joins recorded under a churn model", cell.Label)
+		}
+		if ttc, ok := cell.Metrics["time_to_converge"]; !ok || ttc.Mean <= 0 {
+			t.Errorf("%s: missing or non-positive time_to_converge summary over the wire", cell.Label)
+		}
+	}
+}

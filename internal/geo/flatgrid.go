@@ -106,6 +106,41 @@ func (g *FlatGrid) WithinSorted(center Point, r float64, exclude int32, dst []in
 	return dst
 }
 
+// WithinSortedLive is WithinSorted restricted to items whose up[id] flag is
+// set — the membership-aware neighbourhood query behind churn scenarios.
+// The mask is indexed by item id (the dense 0..n-1 space Rebuild was
+// given). Masking happens inside the cell scan, before the result ever
+// materializes, so a down item is invisible to the caller exactly as if it
+// had not been indexed; the query geometry (and therefore the padding
+// bound the caller derived) is untouched, because masked items still do
+// not move.
+func (g *FlatGrid) WithinSortedLive(center Point, r float64, exclude int32, up []bool, dst []int32) []int32 {
+	if g.n == 0 {
+		return dst
+	}
+	start := len(dst)
+	r2 := r * r
+	cx0 := g.clampCol(int32((center.X - r - g.minX) / g.cell))
+	cx1 := g.clampCol(int32((center.X + r - g.minX) / g.cell))
+	cy0 := g.clampRow(int32((center.Y - r - g.minY) / g.cell))
+	cy1 := g.clampRow(int32((center.Y + r - g.minY) / g.cell))
+	for cy := cy0; cy <= cy1; cy++ {
+		row := g.cells[cy*g.cols+cx0 : cy*g.cols+cx1+1]
+		for _, cell := range row {
+			for _, it := range cell {
+				if it.id == exclude || !up[it.id] {
+					continue
+				}
+				if it.p.Dist2(center) <= r2 {
+					dst = append(dst, it.id)
+				}
+			}
+		}
+	}
+	insertionSortIDs(dst[start:])
+	return dst
+}
+
 func (g *FlatGrid) clampCol(c int32) int32 {
 	if c < 0 {
 		return 0

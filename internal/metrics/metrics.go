@@ -38,6 +38,11 @@ const (
 	DataTx
 	// Dropped: a packet died. Value 1.
 	Dropped
+	// Join: a node joined or recovered into the membership (lifecycle
+	// event). Value 1.
+	Join
+	// Leave: a node left or failed out of the membership. Value 1.
+	Leave
 
 	// NumKinds bounds the Kind space; valid kinds are 0..NumKinds-1.
 	NumKinds
@@ -51,6 +56,8 @@ var kindNames = [NumKinds]string{
 	RoutingTx:  "routing_tx",
 	DataTx:     "data_tx",
 	Dropped:    "dropped",
+	Join:       "join",
+	Leave:      "leave",
 }
 
 // String returns the stable wire name of the kind (used as JSON map keys).

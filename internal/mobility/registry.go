@@ -51,6 +51,18 @@ func Registered() []string { return registry.Names() }
 // name selects the default model and is always known).
 func Known(name string) bool { return registry.Known(name) }
 
+// ParamNames reports the parameter keys the named model consumes, observed
+// by dry-building it with an empty parameter map.
+func ParamNames(name string) ([]string, error) {
+	b, _, err := registry.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParams(nil)
+	_, _ = b(Env{}, p)
+	return p.Used(), nil
+}
+
 // New resolves a model name through the registry and builds it for the
 // given environment. An empty name selects DefaultModel. The built model
 // is eagerly validated with a zero-node dry run, so an out-of-range

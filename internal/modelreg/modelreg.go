@@ -138,6 +138,19 @@ func (p Params) Duration(key string, def sim.Duration) sim.Duration {
 	return def
 }
 
+// Used returns the sorted parameter keys the builder has consumed so far
+// (via Get/Duration). Dry-building a model with an empty map and reading
+// Used afterwards yields the model's parameter vocabulary — the registry
+// listings behind `adhocsim -list-models` are produced this way.
+func (p Params) Used() []string {
+	out := make([]string, 0, len(p.used))
+	for k := range p.used {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Err reports the first parameter key that no Get/Duration call consumed —
 // the guard against silently-ignored misspellings. Builders call it last.
 func (p Params) Err() error {

@@ -78,6 +78,7 @@ type Node struct {
 	Proto Protocol
 	rng   *sim.RNG
 	sink  SinkFunc
+	up    bool
 }
 
 var _ mac.UpperLayer = (*Node)(nil)
@@ -98,8 +99,16 @@ func (n *Node) RNG() *sim.RNG { return n.rng }
 // NumNodes implements Env.
 func (n *Node) NumNodes() int { return len(n.world.Nodes) }
 
+// Up reports the node's membership state (false while failed/left).
+func (n *Node) Up() bool { return n.up }
+
 // SendMac implements Env: counts the transmission and enqueues at the MAC.
+// A down node's emissions vanish uncounted — a dead radio contributes
+// neither offered routing load nor data transmissions.
 func (n *Node) SendMac(p *pkt.Packet, nextHop pkt.NodeID) {
+	if !n.up {
+		return
+	}
 	switch p.Kind {
 	case pkt.KindRouting:
 		n.world.Collector.OnRoutingTx(p)
@@ -136,8 +145,13 @@ func (n *Node) FlushNextHop(to pkt.NodeID) { n.Mac.FlushDest(to) }
 // SetSink installs the traffic sink for data packets addressed to this node.
 func (n *Node) SetSink(s SinkFunc) { n.sink = s }
 
-// Originate records and routes an application packet from this node.
+// Originate records and routes an application packet from this node. While
+// the node is down the packet is discarded silently: a dead source offers
+// no load, so PDR and overhead metrics only measure the up population.
 func (n *Node) Originate(p *pkt.Packet) {
+	if !n.up {
+		return
+	}
 	opt := -1
 	if n.world.Oracle != nil {
 		opt = n.world.Oracle.HopDist(n.Now(), int32(n.id), int32(p.Dst))

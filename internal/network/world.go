@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"adhocsim/internal/lifecycle"
 	"adhocsim/internal/mac"
 	"adhocsim/internal/metrics"
 	"adhocsim/internal/mobility"
@@ -43,6 +44,12 @@ type Config struct {
 	// data/routing event as a typed metrics.Sample to each sink, stamped
 	// with the engine clock. Sinks run on the event loop: keep Record cheap.
 	Sinks []metrics.Sink
+	// Lifecycle is the run's membership schedule (scenario
+	// Instance.Lifecycle) in canonical order: Join/Leave/Fail/Recover
+	// events applied at their virtual times. Nil keeps the whole
+	// population up for the whole run — bit-identical to the
+	// fixed-population harness.
+	Lifecycle []lifecycle.Event
 }
 
 // World is one fully-wired simulation instance. It is single-threaded;
@@ -54,6 +61,7 @@ type World struct {
 	Collector *stats.Collector
 	Oracle    *topo.Oracle
 	Tracer    trace.Tracer
+	lifecycle []lifecycle.Event
 }
 
 // NewWorld wires radios, MACs and routing agents for every track.
@@ -105,7 +113,7 @@ func NewWorld(cfg Config) (*World, error) {
 	root := sim.NewRNG(cfg.Seed)
 	for i, tr := range cfg.Tracks {
 		id := pkt.NodeID(i)
-		n := &Node{id: id, world: w, Track: tr}
+		n := &Node{id: id, world: w, Track: tr, up: true}
 		nodeRNG := root.Fork(int64(i))
 		n.rng = nodeRNG.ForkNamed("proto")
 		n.Radio = w.Channel.AttachRadio(id, nil, nil)
@@ -114,14 +122,35 @@ func NewWorld(cfg Config) (*World, error) {
 		n.Proto = cfg.Protocol(id)
 		w.Nodes = append(w.Nodes, n)
 	}
+	// Nodes whose first lifecycle event brings them up (bootstrap joins,
+	// recoveries) start the run powered down. InitialUp returns nil for the
+	// empty schedule, so the static lifecycle touches nothing here.
+	w.lifecycle = cfg.Lifecycle
+	for i, up := range lifecycle.InitialUp(cfg.Lifecycle, len(cfg.Tracks)) {
+		if !up {
+			w.Nodes[i].up = false
+			w.Channel.SetNodeUp(pkt.NodeID(i), false)
+		}
+	}
 	return w, nil
 }
 
-// Start boots every routing agent (schedules beacons etc.).
+// Start boots every routing agent (schedules beacons etc.), delivers the
+// initial Up hook to lifecycle-aware protocols on initially-up nodes, and
+// registers the membership schedule with the engine.
 func (w *World) Start() {
 	for _, n := range w.Nodes {
 		n.Proto.Start(n)
 	}
+	for _, n := range w.Nodes {
+		if !n.up {
+			continue
+		}
+		if la, ok := n.Proto.(LifecycleAware); ok {
+			la.Up(w.Eng.Now())
+		}
+	}
+	w.scheduleLifecycle()
 }
 
 // Run executes the simulation until the horizon and finalizes MAC counters
@@ -152,6 +181,7 @@ func (w *World) Run(ctx context.Context, until sim.Time) error {
 		return err
 	}
 	w.Collector.Finish(w.Eng.Now())
+	w.autoconfCensus()
 	var frames, bytes uint64
 	for _, n := range w.Nodes {
 		s := n.Mac.Stats

@@ -105,6 +105,8 @@ type Channel struct {
 	busyUntil []sim.Time // medium observed busy until (any arrival ≥ CS, or own tx)
 	airPower  []float64  // SINR mode: summed power of every in-air arrival
 	airCount  []int32    // SINR mode: in-air arrival count (exact-zero reset)
+	up        []bool     // liveness bitmap: false while the node is down (churn)
+	downCount int        // number of down radios (fast path skips the mask at 0)
 
 	grid        *geo.FlatGrid
 	lastIndex   sim.Time // virtual time of the last reindex
@@ -171,7 +173,34 @@ func (c *Channel) AttachRadio(id pkt.NodeID, pos func(sim.Time) geo.Point, rcv R
 	c.busyUntil = append(c.busyUntil, 0)
 	c.airPower = append(c.airPower, 0)
 	c.airCount = append(c.airCount, 0)
+	c.up = append(c.up, true)
 	return r
+}
+
+// NodeUp reports radio id's membership state.
+func (c *Channel) NodeUp(id pkt.NodeID) bool { return c.up[id] }
+
+// SetNodeUp flips radio id's membership (the lifecycle layer's Join/Leave/
+// Fail/Recover events land here). A down radio neither radiates — its MAC
+// can keep draining queued frames, but transmit drops them at the channel —
+// nor appears as a fan-out/carrier-sense candidate for anyone else's
+// transmissions. Powering down destroys any reception in progress; energy
+// already in the air from the node's earlier transmissions keeps
+// propagating (it was radiated while up).
+func (c *Channel) SetNodeUp(id pkt.NodeID, up bool) {
+	if c.up[id] == up {
+		return
+	}
+	c.up[id] = up
+	if up {
+		c.downCount--
+		return
+	}
+	c.downCount++
+	r := c.radios[id]
+	if r.rx != nil && !r.rx.corrupted && r.rx.end > c.eng.Now() {
+		r.rx.corrupted = true
+	}
 }
 
 // SetPositionTable installs a flattened position source covering every node
@@ -269,6 +298,12 @@ func (c *Channel) needReindex(now sim.Time) bool {
 
 // transmit propagates a frame from r to every radio in carrier-sense range.
 func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
+	if c.downCount > 0 && !c.up[r.id] {
+		// A powered-down sender radiates nothing: the MAC's state machine
+		// still sees the transmission complete (txUntil was set), but no
+		// energy reaches the medium.
+		return
+	}
 	now := c.eng.Now()
 	c.Transmissions++
 	from := c.posAt(r.id, now)
@@ -281,7 +316,7 @@ func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
 			return
 		}
 		for _, o := range c.radios {
-			if o == r {
+			if o == r || (c.downCount > 0 && !c.up[o.id]) {
 				continue
 			}
 			c.propagate(r, o, from, payload, dur, now)
@@ -291,7 +326,14 @@ func (c *Channel) transmit(r *Radio, payload any, dur sim.Duration) {
 	if c.needReindex(now) {
 		c.refreshIndex(now)
 	}
-	c.scratch = c.grid.WithinSorted(from, c.queryRadius, int32(r.id), c.scratch[:0])
+	// Down radios are masked out of the candidate set before the fan-out
+	// gate, so the sequential and pooled paths see the same candidates and
+	// take the same gate decision — the workers=N parity invariant.
+	if c.downCount > 0 {
+		c.scratch = c.grid.WithinSortedLive(from, c.queryRadius, int32(r.id), c.up, c.scratch[:0])
+	} else {
+		c.scratch = c.grid.WithinSorted(from, c.queryRadius, int32(r.id), c.scratch[:0])
+	}
 	if c.fanoutReady(len(c.scratch)) {
 		c.fanoutCands(r, c.scratch, from, payload, dur, now)
 		return

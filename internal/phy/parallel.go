@@ -106,12 +106,14 @@ func (c *Channel) StopWorkers() {
 	c.parInit = false
 }
 
-// fanoutAll is the brute-force loop's fan-out: every other radio is a
-// candidate, in NodeID order, exactly as the sequential loop visits them.
+// fanoutAll is the brute-force loop's fan-out: every other up radio is a
+// candidate, in NodeID order, exactly as the sequential loop visits them
+// (the liveness mask is applied here, before the legs reach the pool, so
+// workers never read membership state).
 func (c *Channel) fanoutAll(sender *Radio, from geo.Point, payload any, dur sim.Duration, now sim.Time) {
 	cands := c.scratch[:0]
 	for i := range c.radios {
-		if i == int(sender.id) {
+		if i == int(sender.id) || (c.downCount > 0 && !c.up[i]) {
 			continue
 		}
 		cands = append(cands, int32(i))

@@ -101,6 +101,12 @@ func (r *Radio) Transmit(payload any, dur sim.Duration) {
 
 // beginArrival registers a frame starting to arrive at this radio.
 func (r *Radio) beginArrival(a arrival) {
+	if !r.ch.up[r.id] {
+		// The radio powered down after this leg was scheduled (candidate
+		// filtering stops new legs): the energy neither decodes nor
+		// registers as carrier at a dead receiver.
+		return
+	}
 	now := r.ch.eng.Now()
 	r.extendBusy(a.end)
 

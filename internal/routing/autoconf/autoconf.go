@@ -1,0 +1,269 @@
+// Package autoconf implements randomized address autoconfiguration in the
+// spirit of Ravelomanana's initialization protocols: each node, on joining
+// the network, claims a uniformly random address from a bounded space,
+// advertises the claim over a few jittered probe rounds, defends an
+// established claim when a newcomer collides with it, and re-picks on
+// losing. A claim that survives its probe rounds undefended has converged;
+// the network-layer census turns per-node convergence instants and
+// surviving duplicates into the time_to_converge and addr_collision_rate
+// metrics. Data packets are TTL-scoped floods (the flood yardstick), so
+// delivery metrics stay meaningful while the address plane converges.
+//
+// The protocol is the first consumer of the lifecycle subsystem: it
+// implements network.LifecycleAware, (re)starting its claim on every Up and
+// letting the claim lapse on Down, so churn scenarios measure genuine
+// re-initialization cost rather than a one-shot bootstrap.
+package autoconf
+
+import (
+	"adhocsim/internal/network"
+	"adhocsim/internal/pkt"
+	"adhocsim/internal/routing"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/stats"
+)
+
+// Message body size: the 4-byte claimed address.
+const claimBytes = 4
+
+// Config tunes the autoconfiguration agent.
+type Config struct {
+	// Space is the address-space size; addresses are drawn uniformly from
+	// [0, Space). Default 1024 — small enough that collisions are a real
+	// event at study scales, as in the adversarial-autoconf literature.
+	Space int
+	// Rounds is how many probe rounds a claim must survive undefended
+	// before it converges (default 3).
+	Rounds int
+	// Interval separates probe rounds (default 500 ms).
+	Interval sim.Duration
+	// TTL bounds the flood scope of claims, defends and data packets
+	// (default pkt.DefaultTTL).
+	TTL int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Space <= 0 {
+		c.Space = 1024
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.Interval <= 0 {
+		c.Interval = 500 * sim.Millisecond
+	}
+	if c.TTL <= 0 {
+		c.TTL = pkt.DefaultTTL
+	}
+	return c
+}
+
+// Factory returns a protocol factory for network.Config.
+func Factory(cfg Config) network.ProtocolFactory {
+	cfg = cfg.withDefaults()
+	return func(pkt.NodeID) network.Protocol { return New(cfg) }
+}
+
+// claimPayload is the immutable routing payload of CLAIM/DEFEND floods.
+type claimPayload struct {
+	Addr uint32
+}
+
+// Autoconf is one node's autoconfiguration agent.
+type Autoconf struct {
+	cfg Config
+	env network.Env
+
+	// Separate duplicate caches: control floods are keyed by the agent's
+	// own message counter, data floods by the application sequence number,
+	// and the two counters would collide in one (origin, id) space.
+	seenCtl  *routing.SeenCache
+	seenData *routing.SeenCache
+
+	up          bool
+	addr        uint32
+	haveAddr    bool
+	converged   bool
+	convergedAt sim.Time
+	round       int
+	// epoch invalidates in-flight probe timers across re-picks and
+	// Down/Up cycles, so a stale closure can never advance a new claim.
+	epoch int
+	seq   uint32
+}
+
+// New creates an autoconfiguration agent.
+func New(cfg Config) *Autoconf {
+	return &Autoconf{
+		cfg:      cfg.withDefaults(),
+		seenCtl:  routing.NewSeenCache(60 * sim.Second),
+		seenData: routing.NewSeenCache(60 * sim.Second),
+	}
+}
+
+// Start implements network.Protocol. Claiming begins at the Up hook, not
+// here: a node that starts the run powered down must not touch the medium.
+func (a *Autoconf) Start(env network.Env) { a.env = env }
+
+// Up implements network.LifecycleAware: (re)start the address claim.
+func (a *Autoconf) Up(at sim.Time) {
+	a.up = true
+	a.pick()
+}
+
+// Down implements network.LifecycleAware: the claim lapses. The address is
+// dropped entirely — a recovering node re-runs the claim procedure, since
+// its old address may have been claimed while it was dark.
+func (a *Autoconf) Down(at sim.Time) {
+	a.up = false
+	a.haveAddr = false
+	a.converged = false
+	a.epoch++
+}
+
+// AutoconfState implements network.Autoconfigured.
+func (a *Autoconf) AutoconfState() (uint32, bool, sim.Time) {
+	return a.addr, a.converged, a.convergedAt
+}
+
+// pick draws a fresh random address and restarts the probe schedule.
+func (a *Autoconf) pick() {
+	a.addr = uint32(a.env.RNG().Intn(a.cfg.Space))
+	a.haveAddr = true
+	a.converged = false
+	a.round = 0
+	a.epoch++
+	ep := a.epoch
+	a.env.Engine().ScheduleIn(a.env.RNG().Jitter(routing.BroadcastJitter), func() { a.probe(ep) })
+}
+
+// probe sends one claim round, or declares convergence once every round
+// survived undefended.
+func (a *Autoconf) probe(ep int) {
+	if ep != a.epoch || !a.up {
+		return
+	}
+	if a.round >= a.cfg.Rounds {
+		a.converged = true
+		a.convergedAt = a.env.Now()
+		return
+	}
+	a.round++
+	a.broadcastCtl("CLAIM")
+	a.env.Engine().ScheduleIn(a.cfg.Interval+a.env.RNG().Jitter(routing.BroadcastJitter), func() { a.probe(ep) })
+}
+
+// broadcastCtl originates one CLAIM/DEFEND flood for the current address.
+func (a *Autoconf) broadcastCtl(msg string) {
+	a.seq++
+	p := pkt.RoutingPacket(msg, a.env.ID(), pkt.Broadcast, a.cfg.TTL, claimBytes, a.env.Now())
+	p.Seq = a.seq
+	p.Payload = claimPayload{Addr: a.addr}
+	a.seenCtl.Seen(routing.SeenKey{Origin: p.Src, ID: p.Seq}, a.env.Now())
+	a.env.SendMac(p, pkt.Broadcast)
+}
+
+// SendData implements network.Protocol: data packets are TTL-scoped floods.
+func (a *Autoconf) SendData(p *pkt.Packet) {
+	p.TTL = a.cfg.TTL
+	a.seenData.Seen(routing.SeenKey{Origin: p.Src, ID: p.Seq}, a.env.Now())
+	a.env.SendMac(p, pkt.Broadcast)
+}
+
+// Recv implements network.Protocol.
+func (a *Autoconf) Recv(p *pkt.Packet, from pkt.NodeID, _ float64) {
+	if p.Kind == pkt.KindData {
+		a.recvData(p, from)
+		return
+	}
+	if a.seenCtl.Seen(routing.SeenKey{Origin: p.Src, ID: p.Seq}, a.env.Now()) {
+		return
+	}
+	if cl, ok := p.Payload.(claimPayload); ok {
+		switch p.Msg {
+		case "CLAIM":
+			a.onClaim(cl.Addr, p.Src)
+		case "DEFEND":
+			a.onDefend(cl.Addr, p.Src)
+		}
+	}
+	a.forward(p)
+}
+
+// onClaim reacts to another node claiming an address.
+func (a *Autoconf) onClaim(addr uint32, claimant pkt.NodeID) {
+	if !a.up || !a.haveAddr || addr != a.addr || claimant == a.env.ID() {
+		return
+	}
+	if a.converged {
+		// An established claim is defended, pushing the newcomer off.
+		a.broadcastCtl("DEFEND")
+		return
+	}
+	// Two unconverged claimants collided. The lower id keeps the address
+	// (both hear each other's probes, so exactly one side yields); the
+	// loser re-picks from scratch.
+	if claimant < a.env.ID() {
+		a.pick()
+	}
+}
+
+// onDefend reacts to an established owner defending the address this node
+// claims: the claim is lost and a fresh address is drawn. Between two
+// converged duplicates that discover each other, the lower id keeps the
+// address and the higher id yields.
+func (a *Autoconf) onDefend(addr uint32, owner pkt.NodeID) {
+	if !a.up || !a.haveAddr || addr != a.addr || owner == a.env.ID() {
+		return
+	}
+	if a.converged && owner > a.env.ID() {
+		a.broadcastCtl("DEFEND")
+		return
+	}
+	a.pick()
+}
+
+// recvData is the flood-yardstick data path: deliver at the destination,
+// re-broadcast elsewhere until the TTL expires.
+func (a *Autoconf) recvData(p *pkt.Packet, from pkt.NodeID) {
+	if a.seenData.Seen(routing.SeenKey{Origin: p.Src, ID: p.Seq}, a.env.Now()) {
+		return
+	}
+	p.Hops++
+	if p.Dst == a.env.ID() {
+		a.env.Deliver(p, from)
+		return
+	}
+	p.TTL--
+	if p.Expired() {
+		a.env.Drop(p, stats.DropTTL)
+		return
+	}
+	q := p.Clone()
+	a.env.Engine().ScheduleIn(a.env.RNG().Jitter(routing.BroadcastJitter), func() {
+		a.env.SendMac(q, pkt.Broadcast)
+	})
+}
+
+// forward continues a control flood under a new lineage from this node.
+func (a *Autoconf) forward(p *pkt.Packet) {
+	p.TTL--
+	if p.Expired() {
+		return
+	}
+	q := p.Clone()
+	q.Hops++
+	a.env.Engine().ScheduleIn(a.env.RNG().Jitter(routing.BroadcastJitter), func() {
+		a.env.SendMac(q, pkt.Broadcast)
+	})
+}
+
+// Snoop implements network.Protocol (unused).
+func (a *Autoconf) Snoop(*pkt.Packet, pkt.NodeID, pkt.NodeID, float64) {}
+
+// MacSent implements network.Protocol (unused).
+func (a *Autoconf) MacSent(*pkt.Packet, pkt.NodeID) {}
+
+// MacFailed implements network.Protocol: broadcasts never fail at the MAC,
+// so only queue overflow lands here; the packet is simply lost.
+func (a *Autoconf) MacFailed(*pkt.Packet, pkt.NodeID) {}

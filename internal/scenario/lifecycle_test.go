@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"adhocsim/internal/lifecycle"
+	"adhocsim/internal/sim"
+)
+
+// TestValidateRejectsChurnPastHorizon is the lifecycle dry-run guard: a
+// staggered join window extending past Duration must fail Spec.Validate —
+// at campaign-submission time, not mid-flight.
+func TestValidateRejectsChurnPastHorizon(t *testing.T) {
+	s := Default()
+	s.Duration = 20 * sim.Second
+	s.Lifecycle = LifecycleSpec{
+		Name:   "staggered-join",
+		Params: map[string]float64{"start_s": 10, "window_s": 30},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a join window extending past Duration")
+	}
+	if !strings.Contains(err.Error(), "horizon") {
+		t.Fatalf("error does not name the horizon violation: %v", err)
+	}
+
+	// Shrinking the window back inside the run makes the same spec valid.
+	s.Lifecycle.Params["window_s"] = 5
+	if err := s.Validate(); err != nil {
+		t.Fatalf("in-horizon staggered-join rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadLifecycleParams(t *testing.T) {
+	s := Default()
+	s.Lifecycle = LifecycleSpec{Name: "flashcrowd", Params: map[string]float64{"base_frac": 1.5}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted flashcrowd base_frac=1.5")
+	}
+	s.Lifecycle = LifecycleSpec{Name: "no-such-model"}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted an unregistered lifecycle model")
+	}
+}
+
+// TestGenerateLifecycleSchedule pins the instance-level contract: churn
+// models yield a normalized, bounds-checked schedule that is a pure
+// function of (spec, seed), and the static lifecycle compiles to nil so
+// the network layer keeps its fixed-population fast path.
+func TestGenerateLifecycleSchedule(t *testing.T) {
+	s := Default()
+	s.Nodes = 20
+	s.Duration = 60 * sim.Second
+	s.Sources = 3
+
+	inst, err := s.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Lifecycle != nil {
+		t.Fatalf("static lifecycle compiled to %d events, want nil", len(inst.Lifecycle))
+	}
+
+	s.Lifecycle = LifecycleSpec{Name: "onoff-fail", Params: map[string]float64{"mean_up_s": 20, "mean_down_s": 5}}
+	a, err := s.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Lifecycle) == 0 {
+		t.Fatal("onoff-fail produced an empty schedule over 60s with mean_up 20s")
+	}
+	if err := lifecycle.Check(a.Lifecycle, s.Nodes, s.Duration); err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]lifecycle.Event(nil), a.Lifecycle...)
+	lifecycle.Normalize(sorted)
+	if !reflect.DeepEqual(a.Lifecycle, sorted) {
+		t.Fatal("Generate returned an unnormalized schedule")
+	}
+
+	b, err := s.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Lifecycle, b.Lifecycle) {
+		t.Fatal("schedule differs across Generate calls with the same seed")
+	}
+	c, err := s.Generate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Lifecycle, c.Lifecycle) {
+		t.Fatal("different seeds produced identical onoff-fail schedules")
+	}
+
+	// Churn draws come from their own substream: tracks and connections
+	// must be untouched by switching the lifecycle model.
+	static := s
+	static.Lifecycle = LifecycleSpec{}
+	d, err := static.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Connections, d.Connections) {
+		t.Fatal("lifecycle model choice perturbed the traffic substream")
+	}
+	if len(a.Tracks) != len(d.Tracks) || !reflect.DeepEqual(a.Tracks[0], d.Tracks[0]) {
+		t.Fatal("lifecycle model choice perturbed the mobility substream")
+	}
+}

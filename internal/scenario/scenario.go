@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"adhocsim/internal/geo"
+	"adhocsim/internal/lifecycle"
 	"adhocsim/internal/mobility"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/radio"
@@ -52,6 +53,15 @@ type RadioSpec struct {
 	// orthogonal to the propagation model: any registered model runs in
 	// either mode.
 	SINR bool `json:"sinr,omitempty"`
+}
+
+// LifecycleSpec names a registered churn (node lifecycle) model with
+// optional parameter overrides. The zero value selects the static lifecycle
+// — the full population up for the whole run — and compiles bit-identically
+// to the fixed-population harness.
+type LifecycleSpec struct {
+	Name   string             `json:"name,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // Spec describes one experiment configuration (before seeding).
@@ -92,6 +102,13 @@ type Spec struct {
 	// reception mode; the zero value is the study's two-ray ground with
 	// pairwise capture, shaped by the TxRange/CSRange fields above.
 	Radio RadioSpec
+	// Lifecycle selects a registered churn model compiling to a per-run
+	// schedule of Join/Leave/Fail/Recover membership events; the zero
+	// value is the static fixed population. omitzero keeps the zero-value
+	// spec's JSON — and therefore every campaign plan hash and
+	// distributed-cache unit key derived from it — byte-identical to the
+	// pre-lifecycle harness.
+	Lifecycle LifecycleSpec `json:",omitzero"`
 }
 
 // Default returns the reconstructed study configuration: 40 nodes,
@@ -139,6 +156,24 @@ func (s Spec) RadioModel(seed int64) (phy.RadioParams, error) {
 	return radio.New(s.Radio.Name, env, s.Radio.Params)
 }
 
+// LifecycleModel resolves the spec's churn model through the registry. pos
+// reports node positions to spatially-correlated models (partition-heal);
+// nil pins every node to the origin, which Validate's dry runs use so they
+// never have to generate mobility tracks.
+func (s Spec) LifecycleModel(pos func(node int, at sim.Time) geo.Point) (lifecycle.Model, error) {
+	return lifecycle.New(s.Lifecycle.Name, s.lifecycleEnv(pos), s.Lifecycle.Params)
+}
+
+// lifecycleEnv is the churn-model-facing view of the spec.
+func (s Spec) lifecycleEnv(pos func(node int, at sim.Time) geo.Point) lifecycle.Env {
+	return lifecycle.Env{
+		Nodes:    s.Nodes,
+		Duration: s.Duration,
+		Area:     s.Area,
+		Pos:      pos,
+	}
+}
+
 // trafficEnv is the generator-facing view of the spec for one run.
 func (s Spec) trafficEnv(seed int64) traffic.Env {
 	return traffic.Env{
@@ -169,6 +204,22 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: %w", err)
 	}
 	if _, err := s.RadioModel(0); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	// The lifecycle model is dry-run twice: New's zero-node build catches
+	// malformed parameters, and a full-population seed-0 schedule (with
+	// origin-pinned positions, so no tracks are generated) is bounds-checked
+	// so churn that falls outside the run horizon — a join scheduled after
+	// Duration — fails at campaign submission, not mid-flight.
+	model, err := s.LifecycleModel(nil)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	events, err := model.Schedule(s.lifecycleEnv(nil), sim.NewRNG(0))
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := lifecycle.Check(events, s.Nodes, s.Duration); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
 	return nil
@@ -225,6 +276,9 @@ type Instance struct {
 	Tracks      []*mobility.Track
 	Connections []traffic.Connection
 	Radio       phy.RadioParams
+	// Lifecycle is the compiled membership schedule in canonical order;
+	// nil for the static lifecycle.
+	Lifecycle []lifecycle.Event
 }
 
 // Generate expands the spec deterministically from seed: the mobility model
@@ -257,6 +311,32 @@ func (s Spec) Generate(seed int64) (*Instance, error) {
 		return nil, err
 	}
 
+	// Positions are served from a lazily-built track table, so only
+	// spatially-correlated churn models (partition-heal) pay for it.
+	var posTab *mobility.Table
+	pos := func(node int, at sim.Time) geo.Point {
+		if posTab == nil {
+			posTab = mobility.NewTable(tracks)
+		}
+		return posTab.At(node, at)
+	}
+	lcModel, err := s.LifecycleModel(pos)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// The lifecycle fork is drawn unconditionally — after the mobility and
+	// traffic forks, which root consumed last before this registry existed —
+	// so the static lifecycle leaves every earlier substream untouched and
+	// the instance bit-identical to the fixed-population harness.
+	churn, err := lcModel.Schedule(s.lifecycleEnv(pos), root.ForkNamed("lifecycle"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	lifecycle.Normalize(churn)
+	if err := lifecycle.Check(churn, s.Nodes, s.Duration); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
 	params, err := s.RadioModel(seed)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
@@ -268,5 +348,6 @@ func (s Spec) Generate(seed int64) (*Instance, error) {
 		Tracks:      tracks,
 		Connections: conns,
 		Radio:       params,
+		Lifecycle:   churn,
 	}, nil
 }

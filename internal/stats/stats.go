@@ -53,6 +53,11 @@ type Collector struct {
 
 	drops map[DropReason]uint64
 
+	joins, leaves     uint64  // membership transitions applied (lifecycle)
+	timeToConverge    float64 // autoconf census: slowest up node, seconds
+	addrCollisionRate float64 // autoconf census: duplicate-address share
+	autoconfDone      bool
+
 	// Optional metric-stream fan-out. When no sinks are attached the
 	// counter path above runs byte-identically to the seed pipeline.
 	sinks []metrics.Sink
@@ -161,6 +166,32 @@ func (c *Collector) OnMacControl(frames, bytes uint64) {
 	c.macCtlBytes += bytes
 }
 
+// OnJoin records a node joining (or recovering into) the membership.
+func (c *Collector) OnJoin() {
+	c.joins++
+	if len(c.sinks) > 0 {
+		c.emit(metrics.Join, 1)
+	}
+}
+
+// OnLeave records a node leaving (or failing out of) the membership.
+func (c *Collector) OnLeave() {
+	c.leaves++
+	if len(c.sinks) > 0 {
+		c.emit(metrics.Leave, 1)
+	}
+}
+
+// SetAutoconf records the end-of-run address-autoconfiguration census
+// (network.World computes it when the protocol implements Autoconfigured):
+// the convergence instant of the slowest up node and the duplicate-address
+// share among up nodes.
+func (c *Collector) SetAutoconf(timeToConverge, collisionRate float64) {
+	c.timeToConverge = timeToConverge
+	c.addrCollisionRate = collisionRate
+	c.autoconfDone = true
+}
+
 // OnDrop records a packet death. Only data packets are charged to PDR;
 // routing packet drops are tracked for diagnostics.
 func (c *Collector) OnDrop(p *pkt.Packet, reason DropReason) {
@@ -210,6 +241,18 @@ type Results struct {
 
 	Drops map[DropReason]uint64
 
+	// Joins/Leaves count the membership transitions the lifecycle layer
+	// applied during the run; zero under the static lifecycle.
+	Joins  uint64
+	Leaves uint64
+	// TimeToConverge is the autoconfiguration convergence instant in
+	// seconds (the slowest up node; unconverged nodes are charged the full
+	// run). Zero when the protocol does not autoconfigure.
+	TimeToConverge float64
+	// AddrCollisionRate is the fraction of up nodes whose claimed address
+	// was also claimed by another up node at the end of the run.
+	AddrCollisionRate float64
+
 	// Streams is the serialized metric-stream digest (quantile sketches and
 	// bucketed time series) when the run was executed with stream sinks
 	// attached — the campaign pipeline sets it so journal entries and
@@ -233,6 +276,12 @@ func (c *Collector) Finalize() Results {
 		HopExcess:        c.hopExcess,
 		OptUnknown:       c.optUnknown,
 		Drops:            c.drops,
+		Joins:            c.joins,
+		Leaves:           c.leaves,
+	}
+	if c.autoconfDone {
+		r.TimeToConverge = c.timeToConverge
+		r.AddrCollisionRate = c.addrCollisionRate
 	}
 	if c.dataSent > 0 {
 		r.PDR = float64(c.dataDelivered) / float64(c.dataSent)

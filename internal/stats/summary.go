@@ -113,6 +113,10 @@ func MergeResults(rs []Results) Results {
 		out.NormalizedMacLoad += r.NormalizedMacLoad / n
 		out.AvgHops += r.AvgHops / n
 		out.OptUnknown += r.OptUnknown
+		out.Joins += r.Joins
+		out.Leaves += r.Leaves
+		out.TimeToConverge += r.TimeToConverge / n
+		out.AddrCollisionRate += r.AddrCollisionRate / n
 		for k, v := range r.RoutingByType {
 			out.RoutingByType[k] += v
 		}

@@ -62,6 +62,18 @@ func Registered() []string { return registry.Names() }
 // name selects the default model).
 func Known(name string) bool { return registry.Known(name) }
 
+// ParamNames reports the parameter keys the named model consumes, observed
+// by dry-building it with an empty parameter map.
+func ParamNames(name string) ([]string, error) {
+	b, _, err := registry.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParams(nil)
+	_, _ = b(p)
+	return p.Used(), nil
+}
+
 // New resolves a traffic model name through the registry and builds it. An
 // empty name selects DefaultModel.
 func New(name string, params map[string]float64) (Generator, error) {
